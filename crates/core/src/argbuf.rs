@@ -1,0 +1,63 @@
+//! Argument buffers (§3, Figure 3).
+//!
+//! "Function invocation requests are passed among an orchestrator and the
+//! executors it manages in argument buffers (ArgBufs). Each ArgBuf uses an
+//! individual VMA for address translation and access control." An ArgBuf
+//! is therefore just a VMA handle plus its payload size; *zero-copy* means
+//! only its permissions move between PDs (one VTE write), never its bytes.
+
+use jord_hw::types::Va;
+
+/// A zero-copy argument buffer backed by one VMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgBuf {
+    va: Va,
+    len: u64,
+}
+
+impl ArgBuf {
+    /// Wraps an allocated VMA as an ArgBuf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(va: Va, len: u64) -> Self {
+        assert!(len > 0, "ArgBuf cannot be empty");
+        ArgBuf { va, len }
+    }
+
+    /// Base virtual address (the pointer handed to the function).
+    pub fn va(&self) -> Va {
+        self.va
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// ArgBufs are never empty (the constructor enforces it); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_va_and_len() {
+        let b = ArgBuf::new(0x1000, 512);
+        assert_eq!(b.va(), 0x1000);
+        assert_eq!(b.len(), 512);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_length_rejected() {
+        let _ = ArgBuf::new(0x1000, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Runtime configuration and the three evaluated system variants (§5).
+
+use jord_hw::MachineConfig;
+use jord_privlib::{IsolationMode, TableChoice};
+
+/// The system variants of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemVariant {
+    /// Jord: plain-list VMA table, full in-process isolation.
+    Jord,
+    /// Jord_NI: all isolation bypassed — idealized but insecure upper bound.
+    JordNi,
+    /// Jord_BT: full isolation with the B-tree VMA table (Figure 13).
+    JordBt,
+}
+
+impl SystemVariant {
+    /// PrivLib table choice for this variant.
+    pub fn table(self) -> TableChoice {
+        match self {
+            SystemVariant::Jord | SystemVariant::JordNi => TableChoice::PlainList,
+            SystemVariant::JordBt => TableChoice::BTree,
+        }
+    }
+
+    /// PrivLib isolation mode for this variant.
+    pub fn isolation(self) -> IsolationMode {
+        match self {
+            SystemVariant::Jord | SystemVariant::JordBt => IsolationMode::Full,
+            SystemVariant::JordNi => IsolationMode::Bypassed,
+        }
+    }
+
+    /// Display label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemVariant::Jord => "Jord",
+            SystemVariant::JordNi => "Jord_NI",
+            SystemVariant::JordBt => "Jord_BT",
+        }
+    }
+}
+
+/// Cross-server spill of internal requests (§3.3): "for internal requests
+/// that cannot be served on the current worker server, the orchestrator
+/// sends them through the network to find another worker server for
+/// execution."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpillConfig {
+    /// Network round trip to a peer worker server, µs.
+    pub network_rtt_us: f64,
+    /// Spill an internal request once the orchestrator's internal backlog
+    /// exceeds this depth while every local executor queue is full.
+    pub backlog_threshold: usize,
+    /// Peer servers are assumed unloaded; their execution time is the
+    /// function tree's mean compute scaled by this factor (>1 models a
+    /// slower/farther peer).
+    pub remote_slowdown: f64,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig {
+            network_rtt_us: 12.0,
+            backlog_threshold: 16,
+            remote_slowdown: 1.2,
+        }
+    }
+}
+
+/// Worker-server runtime parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The simulated hardware.
+    pub machine: MachineConfig,
+    /// The system variant.
+    pub variant: SystemVariant,
+    /// Number of orchestrator threads (each pinned to a core and managing a
+    /// contiguous, proximate group of executors — §3.3).
+    pub orchestrators: usize,
+    /// JBSQ bound: maximum outstanding requests per executor queue.
+    pub queue_bound: usize,
+    /// RNG seed (experiments are reproducible bit-for-bit from this).
+    pub seed: u64,
+    /// Orchestrator work to ingest one external request from the network
+    /// stack, ns (the measurement clock starts at receipt, as in §5).
+    pub ingest_work_ns: f64,
+    /// Orchestrator per-executor work during a JBSQ scan, ns (compare and
+    /// track the minimum).
+    pub scan_work_ns: f64,
+    /// Executor work to pop a request and set up the continuation, ns.
+    pub pickup_work_ns: f64,
+    /// Cross-server spill of internal requests (`None` = single server,
+    /// the §6 evaluation setup).
+    pub spill: Option<SpillConfig>,
+}
+
+impl RuntimeConfig {
+    /// Jord on the Table 2 machine: 32 cores, 4 orchestrators + 28
+    /// executors.
+    pub fn jord_32() -> Self {
+        RuntimeConfig::variant_on(SystemVariant::Jord, MachineConfig::isca25())
+    }
+
+    /// A variant on a given machine, with orchestrator count scaled one per
+    /// 8 cores (minimum 1) — enough dispatch capacity that executors, not
+    /// orchestrators, saturate first on the nesting-light workloads.
+    pub fn variant_on(variant: SystemVariant, machine: MachineConfig) -> Self {
+        let orchestrators = (machine.cores / 8).max(1);
+        RuntimeConfig {
+            machine,
+            variant,
+            orchestrators,
+            queue_bound: 4,
+            seed: 42,
+            ingest_work_ns: 60.0,
+            scan_work_ns: 1.0,
+            pickup_work_ns: 15.0,
+            spill: None,
+        }
+    }
+
+    /// Enables cross-server spill of internal requests (§3.3).
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = Some(spill);
+        self
+    }
+
+    /// Overrides the orchestrator count (Figure 14's single-orchestrator
+    /// scalability study).
+    pub fn with_orchestrators(mut self, n: usize) -> Self {
+        self.orchestrators = n;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of executor threads.
+    pub fn executors(&self) -> usize {
+        self.machine.cores - self.orchestrators
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.machine.validate()?;
+        if self.orchestrators == 0 {
+            return Err("need at least one orchestrator".into());
+        }
+        if self.orchestrators >= self.machine.cores {
+            return Err(format!(
+                "{} orchestrators leave no executor cores on a {}-core machine",
+                self.orchestrators, self.machine.cores
+            ));
+        }
+        if self.queue_bound == 0 {
+            return Err("JBSQ bound must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_map_to_privlib_modes() {
+        assert_eq!(SystemVariant::Jord.table(), TableChoice::PlainList);
+        assert_eq!(SystemVariant::JordBt.table(), TableChoice::BTree);
+        assert_eq!(SystemVariant::JordNi.isolation(), IsolationMode::Bypassed);
+        assert_eq!(SystemVariant::Jord.isolation(), IsolationMode::Full);
+        assert_eq!(SystemVariant::JordNi.label(), "Jord_NI");
+    }
+
+    #[test]
+    fn default_32_core_split_is_4_plus_28() {
+        let c = RuntimeConfig::jord_32();
+        assert_eq!(c.orchestrators, 4);
+        assert_eq!(c.executors(), 28);
+        c.validate().expect("default config valid");
+    }
+
+    #[test]
+    fn orchestrators_scale_with_cores() {
+        let c = RuntimeConfig::variant_on(SystemVariant::Jord, MachineConfig::scaled(256));
+        assert_eq!(c.orchestrators, 32);
+        let c = RuntimeConfig::variant_on(SystemVariant::Jord, MachineConfig::scaled(16));
+        assert_eq!(c.orchestrators, 2);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_splits() {
+        let mut c = RuntimeConfig::jord_32();
+        c.orchestrators = 32;
+        assert!(c.validate().is_err());
+        let mut c = RuntimeConfig::jord_32();
+        c.orchestrators = 0;
+        assert!(c.validate().is_err());
+        let mut c = RuntimeConfig::jord_32();
+        c.queue_bound = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! The function programming model (§3.1, Listing 1).
+//!
+//! Workloads are written as declarative operation lists — the simulation
+//! analogue of the paper's C++ functions. A [`FunctionSpec`] is what a
+//! developer deploys; the executor interprets it per invocation, sampling
+//! compute phases from their distributions and issuing nested invocations
+//! through the runtime exactly as `jord::call`/`jord::async` would.
+
+use jord_sim::TimeDist;
+
+/// Identifies a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionId(pub u32);
+
+/// One step of a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuncOp {
+    /// Execute for a sampled duration (business logic).
+    Compute(TimeDist),
+    /// Read the whole input ArgBuf (`req->in…`).
+    ReadInput,
+    /// Write results into the input ArgBuf (`req->out = …`).
+    WriteOutput,
+    /// Invoke another function with a fresh ArgBuf of `arg_bytes`
+    /// (`jord::call` when `asynchronous` is false, `jord::async` when
+    /// true). Synchronous calls suspend the continuation until the callee
+    /// finishes; asynchronous calls return a cookie collected by
+    /// [`FuncOp::WaitAll`].
+    Invoke {
+        /// Callee.
+        target: FunctionId,
+        /// ArgBuf payload size in bytes.
+        arg_bytes: u64,
+        /// `jord::async` vs `jord::call`.
+        asynchronous: bool,
+    },
+    /// Wait for every outstanding asynchronous invocation (`jord::wait`).
+    WaitAll,
+    /// Allocate a scratch VMA (`mmap` in Listing 1, line 19).
+    MmapTemp {
+        /// Allocation size in bytes.
+        bytes: u64,
+    },
+    /// Free the most recently allocated scratch VMA (`munmap`).
+    MunmapTemp,
+}
+
+/// A deployable function: a name, a body, and its private memory sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    name: String,
+    ops: Vec<FuncOp>,
+    stack_bytes: u64,
+    heap_bytes: u64,
+}
+
+impl FunctionSpec {
+    /// Creates an empty function with default 64 KiB stack and 64 KiB heap.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionSpec {
+            name: name.into(),
+            ops: Vec::new(),
+            stack_bytes: 64 << 10,
+            heap_bytes: 64 << 10,
+        }
+    }
+
+    /// Appends an operation (builder style).
+    pub fn op(mut self, op: FuncOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Convenience: appends a log-normal compute phase.
+    pub fn compute(self, median_ns: f64, sigma: f64) -> Self {
+        self.op(FuncOp::Compute(TimeDist::lognormal(median_ns, sigma)))
+    }
+
+    /// Convenience: appends a synchronous invocation.
+    pub fn call(self, target: FunctionId, arg_bytes: u64) -> Self {
+        self.op(FuncOp::Invoke {
+            target,
+            arg_bytes,
+            asynchronous: false,
+        })
+    }
+
+    /// Convenience: appends an asynchronous invocation.
+    pub fn call_async(self, target: FunctionId, arg_bytes: u64) -> Self {
+        self.op(FuncOp::Invoke {
+            target,
+            arg_bytes,
+            asynchronous: true,
+        })
+    }
+
+    /// Sets the private stack size.
+    pub fn stack_bytes(mut self, bytes: u64) -> Self {
+        self.stack_bytes = bytes;
+        self
+    }
+
+    /// Sets the private heap size.
+    pub fn heap_bytes(mut self, bytes: u64) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operation list.
+    pub fn ops(&self) -> &[FuncOp] {
+        &self.ops
+    }
+
+    /// The private stack size in bytes.
+    pub fn stack(&self) -> u64 {
+        self.stack_bytes
+    }
+
+    /// The private heap size in bytes.
+    pub fn heap(&self) -> u64 {
+        self.heap_bytes
+    }
+
+    /// Mean compute time across all compute phases (capacity estimation).
+    pub fn mean_compute_ns(&self) -> f64 {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                FuncOp::Compute(d) => Some(d.mean_ns()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of nested invocations issued per run of this function.
+    pub fn nested_calls(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, FuncOp::Invoke { .. }))
+            .count()
+    }
+}
+
+/// The deployed function set of a worker server.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionRegistry {
+    specs: Vec<FunctionSpec>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Deploys a function, returning its id.
+    pub fn register(&mut self, spec: FunctionSpec) -> FunctionId {
+        self.specs.push(spec);
+        FunctionId(self.specs.len() as u32 - 1)
+    }
+
+    /// Looks up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn spec(&self, id: FunctionId) -> &FunctionSpec {
+        &self.specs[id.0 as usize]
+    }
+
+    /// Number of deployed functions.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterates over `(id, spec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &FunctionSpec)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (FunctionId(i as u32), s))
+    }
+
+    /// Total invocations (this function + transitive nested calls) that one
+    /// request to `id` generates, assuming every Invoke runs once.
+    pub fn invocation_fanout(&self, id: FunctionId) -> usize {
+        let mut total = 1;
+        for op in self.spec(id).ops() {
+            if let FuncOp::Invoke { target, .. } = op {
+                total += self.invocation_fanout(*target);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_ops_in_order() {
+        let f = FunctionSpec::new("f")
+            .op(FuncOp::ReadInput)
+            .compute(500.0, 0.2)
+            .op(FuncOp::WriteOutput);
+        assert_eq!(f.ops().len(), 3);
+        assert!(matches!(f.ops()[0], FuncOp::ReadInput));
+        assert!(matches!(f.ops()[2], FuncOp::WriteOutput));
+        assert_eq!(f.name(), "f");
+    }
+
+    #[test]
+    fn registry_assigns_sequential_ids() {
+        let mut r = FunctionRegistry::new();
+        let a = r.register(FunctionSpec::new("a"));
+        let b = r.register(FunctionSpec::new("b"));
+        assert_eq!(a, FunctionId(0));
+        assert_eq!(b, FunctionId(1));
+        assert_eq!(r.spec(b).name(), "b");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn fanout_counts_transitive_invocations() {
+        let mut r = FunctionRegistry::new();
+        let leaf = r.register(FunctionSpec::new("leaf"));
+        let mid = r.register(FunctionSpec::new("mid").call(leaf, 128).call(leaf, 128));
+        let root = r.register(FunctionSpec::new("root").call(mid, 256).call_async(leaf, 64));
+        assert_eq!(r.invocation_fanout(leaf), 1);
+        assert_eq!(r.invocation_fanout(mid), 3);
+        assert_eq!(r.invocation_fanout(root), 5);
+        assert_eq!(r.spec(root).nested_calls(), 2);
+    }
+
+    #[test]
+    fn mean_compute_sums_phases() {
+        let f = FunctionSpec::new("f").compute(100.0, 0.0).compute(200.0, 0.0);
+        assert!((f.mean_compute_ns() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_memory_sizes_are_overridable() {
+        let f = FunctionSpec::new("f").stack_bytes(8 << 10).heap_bytes(1 << 20);
+        assert_eq!(f.stack(), 8 << 10);
+        assert_eq!(f.heap(), 1 << 20);
+    }
+}

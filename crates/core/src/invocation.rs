@@ -1,0 +1,265 @@
+//! Invocation state: the runtime image of one function execution.
+//!
+//! An executor regards each running function as a continuation with
+//! private register state, stack, and heap inside its PD (§3.4). The
+//! `Invocation` record is that continuation plus the bookkeeping the
+//! runtime needs: where the request came from, which ops remain, which
+//! children are outstanding, and the service-time breakdown the Figure
+//! 10/11 analyses consume.
+
+use jord_hw::types::{PdId, Va};
+use jord_sim::{SimDuration, SimTime};
+
+use crate::argbuf::ArgBuf;
+use crate::function::FunctionId;
+
+/// Index of an invocation in the server's slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InvocationId(pub usize);
+
+/// Who is waiting for this invocation to finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// An external request received by orchestrator `orch` at `arrival`.
+    External {
+        /// The orchestrator that measures this request's latency.
+        orch: usize,
+        /// Receipt time (latency measurement starts here, §5).
+        arrival: SimTime,
+    },
+    /// A nested invocation; `parent` resumes when this finishes.
+    Internal {
+        /// The invoking continuation.
+        parent: InvocationId,
+        /// True for `jord::call` (parent blocks immediately); false for
+        /// `jord::async` (parent collects it at `WaitAll`).
+        synchronous: bool,
+    },
+}
+
+/// Continuation execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// In an executor queue, not yet started.
+    Queued,
+    /// Currently executing on its executor core.
+    Running,
+    /// Suspended (`cexit`) waiting for `outstanding` children.
+    Suspended,
+    /// Finished and torn down.
+    Done,
+}
+
+/// The per-invocation service-time breakdown (Figure 11's categories).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Business logic: compute phases plus ArgBuf/data accesses.
+    pub exec: SimDuration,
+    /// Memory isolation: PD lifecycle, permission transfers, VTW walks.
+    pub isolation: SimDuration,
+    /// Dispatch: orchestrator queueing decisions attributed to this
+    /// invocation.
+    pub dispatch: SimDuration,
+}
+
+impl Breakdown {
+    /// Total accounted overhead+exec time.
+    pub fn total(&self) -> SimDuration {
+        self.exec + self.isolation + self.dispatch
+    }
+}
+
+/// One function execution.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// The function being run.
+    pub func: FunctionId,
+    /// Who waits for the result.
+    pub origin: Origin,
+    /// The input/output ArgBuf (owned by the caller, lent to us via pmove).
+    pub argbuf: ArgBuf,
+    /// Continuation phase.
+    pub phase: Phase,
+    /// Executor index this invocation is pinned to once dispatched.
+    pub executor: usize,
+    /// The PD the function runs in ([`PdId::RUNTIME`] before setup and
+    /// under Jord_NI bookkeeping).
+    pub pd: PdId,
+    /// Program counter into the function's op list.
+    pub pc: usize,
+    /// Outstanding asynchronous child invocations (cookies not yet joined).
+    pub outstanding: usize,
+    /// The synchronous child this continuation is blocked on, if any.
+    pub blocked_on: Option<InvocationId>,
+    /// Suspended at a `WaitAll`, waiting for `outstanding` to reach zero.
+    pub waiting_all: bool,
+    /// Child ArgBufs whose results are ready to be consumed and freed at
+    /// the next resume (or at teardown).
+    pub pending_free: Vec<(Va, u64)>,
+    /// The invocation's private stack+heap VMA (Figure 4's
+    /// "Allocate Stack/Heap"), zero before setup.
+    pub stackheap: Va,
+    /// Scratch VMAs currently mapped (LIFO, `MmapTemp`/`MunmapTemp`).
+    pub temps: Vec<Va>,
+    /// Whether PD setup already ran (teardown must mirror it).
+    pub pd_active: bool,
+    /// When the invocation entered its executor queue.
+    pub enqueued_at: SimTime,
+    /// When the executor first started running it.
+    pub started_at: SimTime,
+    /// Accumulated breakdown.
+    pub breakdown: Breakdown,
+}
+
+impl Invocation {
+    /// Creates a fresh invocation in the `Queued` phase.
+    pub fn new(func: FunctionId, origin: Origin, argbuf: ArgBuf, now: SimTime) -> Self {
+        Invocation {
+            func,
+            origin,
+            argbuf,
+            phase: Phase::Queued,
+            executor: usize::MAX,
+            pd: PdId::RUNTIME,
+            pc: 0,
+            outstanding: 0,
+            blocked_on: None,
+            waiting_all: false,
+            pending_free: Vec::new(),
+            stackheap: 0,
+            temps: Vec::new(),
+            pd_active: false,
+            enqueued_at: now,
+            started_at: now,
+            breakdown: Breakdown::default(),
+        }
+    }
+}
+
+/// A slab of invocations with index reuse (invocation churn is the hottest
+/// allocation path in the simulator).
+#[derive(Debug, Default)]
+pub struct InvocationSlab {
+    slots: Vec<Option<Invocation>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl InvocationSlab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        InvocationSlab::default()
+    }
+
+    /// Inserts an invocation, returning its id.
+    pub fn insert(&mut self, inv: Invocation) -> InvocationId {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            self.slots[i] = Some(inv);
+            InvocationId(i)
+        } else {
+            self.slots.push(Some(inv));
+            InvocationId(self.slots.len() - 1)
+        }
+    }
+
+    /// Removes an invocation (its id may be reused immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn remove(&mut self, id: InvocationId) -> Invocation {
+        let inv = self.slots[id.0].take().expect("invocation live");
+        self.free.push(id.0);
+        self.live -= 1;
+        inv
+    }
+
+    /// Shared access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn get(&self, id: InvocationId) -> &Invocation {
+        self.slots[id.0].as_ref().expect("invocation live")
+    }
+
+    /// Exclusive access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn get_mut(&mut self, id: InvocationId) -> &mut Invocation {
+        self.slots[id.0].as_mut().expect("invocation live")
+    }
+
+    /// Number of live invocations.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no invocations are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> Invocation {
+        Invocation::new(
+            FunctionId(0),
+            Origin::External {
+                orch: 0,
+                arrival: SimTime::ZERO,
+            },
+            ArgBuf::new(0x1000, 128),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn fresh_invocation_starts_queued() {
+        let i = inv();
+        assert_eq!(i.phase, Phase::Queued);
+        assert_eq!(i.pc, 0);
+        assert_eq!(i.outstanding, 0);
+        assert!(!i.pd_active);
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut slab = InvocationSlab::new();
+        let a = slab.insert(inv());
+        let b = slab.insert(inv());
+        assert_eq!((a.0, b.0), (0, 1));
+        slab.remove(a);
+        assert_eq!(slab.len(), 1);
+        let c = slab.insert(inv());
+        assert_eq!(c.0, 0, "freed slot reused");
+        assert_eq!(slab.len(), 2);
+        slab.get_mut(b).pc = 5;
+        assert_eq!(slab.get(b).pc, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invocation live")]
+    fn stale_access_panics() {
+        let mut slab = InvocationSlab::new();
+        let a = slab.insert(inv());
+        slab.remove(a);
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = Breakdown {
+            exec: SimDuration::from_ns(100),
+            isolation: SimDuration::from_ns(20),
+            dispatch: SimDuration::from_ns(5),
+        };
+        assert_eq!(b.total(), SimDuration::from_ns(125));
+    }
+}

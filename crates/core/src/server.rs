@@ -1,0 +1,1143 @@
+//! The worker server: the discrete-event world tying orchestrators,
+//! executors, PrivLib, and the hardware model together (Figures 3 & 4).
+
+use jord_hw::types::{CoreId, PdId, Perm, Va};
+use jord_hw::Machine;
+use jord_privlib::{os, PrivLib};
+use jord_sim::{EventQueue, Rng, SimDuration, SimTime};
+
+use crate::argbuf::ArgBuf;
+use crate::config::RuntimeConfig;
+use crate::executor::Executor;
+use crate::function::{FuncOp, FunctionId, FunctionRegistry};
+use crate::invocation::{Invocation, InvocationId, InvocationSlab, Origin, Phase};
+use crate::orchestrator::Orchestrator;
+use crate::stats::RunReport;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// An external request arrives from the network.
+    Arrival { func: FunctionId, bytes: u64 },
+    /// An orchestrator is ready for its next dispatch action.
+    OrchWake(usize),
+    /// An executor is ready for its next continuation action.
+    ExecWake(usize),
+    /// A spilled internal request finished on a peer worker server (§3.3).
+    RemoteComplete(InvocationId),
+}
+
+/// Base of the runtime's shared-memory region (queue lines, inbox lines).
+const RT_BASE: u64 = 0x80_0000_0000;
+/// Orchestrator backoff before re-scanning when all executor queues are
+/// full (a dedicated spinning core in reality).
+const FULL_RETRY: SimDuration = SimDuration::from_ns(100);
+/// Executor work to push one internal request into an orchestrator inbox.
+const INTERNAL_PUSH_NS: f64 = 8.0;
+/// Executor work to assemble a completion notice.
+const NOTIFY_NS: f64 = 10.0;
+
+/// A simulated Jord worker server.
+///
+/// See the crate docs for an end-to-end example.
+pub struct WorkerServer {
+    cfg: RuntimeConfig,
+    machine: Machine,
+    privlib: PrivLib,
+    registry: FunctionRegistry,
+    /// Per-function code VMA (granted/revoked per invocation, Figure 4).
+    code_vmas: Vec<Va>,
+    /// PrivLib's own code VMA (G+P bits; fetched on every gated entry).
+    privlib_code: Va,
+    orchs: Vec<Orchestrator>,
+    execs: Vec<Executor>,
+    slab: InvocationSlab,
+    queue: EventQueue<Event>,
+    rng: Rng,
+    report: RunReport,
+    /// Admission window: max in-flight external requests per orchestrator.
+    admission: usize,
+    rr_orch: usize,
+    /// External completions to discard before measuring (cache warm-up).
+    warmup: u64,
+    warmed: u64,
+}
+
+impl WorkerServer {
+    /// Builds a worker server for `cfg` with `registry` deployed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any configuration problem.
+    pub fn new(cfg: RuntimeConfig, registry: FunctionRegistry) -> Result<Self, String> {
+        cfg.validate()?;
+        if registry.is_empty() {
+            return Err("no functions deployed".into());
+        }
+        let mut machine = Machine::new(cfg.machine.clone());
+        let (mut privlib, boot_vmas) = os::boot_full(
+            &mut machine,
+            cfg.variant.table(),
+            cfg.variant.isolation(),
+            jord_privlib::CostModel::calibrated(),
+        )
+        .map_err(|e| e.to_string())?;
+
+        // One code VMA per deployed function.
+        let mut code_vmas = Vec::with_capacity(registry.len());
+        for (_, _spec) in registry.iter() {
+            let (va, _) = privlib
+                .mmap(&mut machine, CoreId(0), 256 << 10, Perm::RX, PdId::RUNTIME)
+                .map_err(|e| e.to_string())?;
+            code_vmas.push(va);
+        }
+
+        // Core assignment with affinity (§3.3/6.3): orchestrator cores are
+        // spread evenly across the machine (and thus across sockets), and
+        // each orchestrator manages the contiguous run of executor cores
+        // following its own — "a group of executors in proximity".
+        let n_orch = cfg.orchestrators;
+        let n_exec = cfg.executors();
+        let cores = cfg.machine.cores;
+        let stride = cores as f64 / n_orch as f64;
+        let orch_cores: Vec<usize> = (0..n_orch).map(|i| (i as f64 * stride) as usize).collect();
+        let exec_cores: Vec<usize> = (0..cores).filter(|c| !orch_cores.contains(c)).collect();
+        debug_assert_eq!(exec_cores.len(), n_exec);
+        let mut orchs: Vec<Orchestrator> = Vec::with_capacity(n_orch);
+        for i in 0..n_orch {
+            let start = exec_cores.partition_point(|&c| c < orch_cores[i]);
+            let end = if i + 1 < n_orch {
+                exec_cores.partition_point(|&c| c < orch_cores[i + 1])
+            } else {
+                n_exec
+            };
+            orchs.push(Orchestrator::new(
+                CoreId(orch_cores[i]),
+                start..end,
+                RT_BASE + (i as u64) * 256,
+                RT_BASE + (i as u64) * 256 + 64,
+            ));
+        }
+        let execs = (0..n_exec)
+            .map(|e| {
+                let orch = orchs
+                    .iter()
+                    .position(|o| o.group.contains(&e))
+                    .expect("every executor has an orchestrator");
+                Executor::new(
+                    CoreId(exec_cores[e]),
+                    orch,
+                    RT_BASE + 0x10_0000 + (e as u64) * 64,
+                )
+            })
+            .collect();
+
+        let admission = (8 * n_exec / n_orch).max(16);
+        let seed = cfg.seed;
+        Ok(WorkerServer {
+            cfg,
+            machine,
+            privlib,
+            registry,
+            code_vmas,
+            privlib_code: boot_vmas.privlib_code,
+            orchs,
+            execs,
+            slab: InvocationSlab::new(),
+            queue: EventQueue::new(),
+            rng: Rng::new(seed),
+            report: RunReport::new(),
+            admission,
+            rr_orch: 0,
+            warmup: 0,
+            warmed: 0,
+        })
+    }
+
+    /// Discards the first `n` completed external requests (and the
+    /// invocation records of everything finishing before them) from the
+    /// measurement, so cold-cache effects do not pollute tail latencies.
+    pub fn set_warmup(&mut self, n: u64) {
+        self.warmup = n;
+    }
+
+    fn measuring(&self) -> bool {
+        self.warmed >= self.warmup
+    }
+
+    /// Schedules an external request for `func` carrying `bytes` of
+    /// arguments to arrive at `time`. Call before [`run`](Self::run).
+    pub fn push_request(&mut self, time: SimTime, func: FunctionId, bytes: u64) {
+        self.report.offered += 1;
+        self.queue.push(time, Event::Arrival { func, bytes });
+    }
+
+    /// Runs the simulation to completion (all injected requests finished)
+    /// and returns the measurement report.
+    pub fn run(&mut self) -> RunReport {
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Arrival { func, bytes } => self.on_arrival(t, func, bytes),
+                Event::OrchWake(i) => self.on_orch_wake(t, i),
+                Event::ExecWake(e) => self.on_exec_wake(t, e),
+                Event::RemoteComplete(id) => self.on_remote_complete(t, id),
+            }
+        }
+        debug_assert!(self.slab.is_empty(), "all invocations must complete");
+        let mut report = std::mem::take(&mut self.report);
+        for o in &self.orchs {
+            report.dispatch_ns.merge(&o.dispatch_ns);
+        }
+        report.shootdown_ns = self.machine.stats().shootdown_ns;
+        report.finished_at = self.queue.now();
+        report
+    }
+
+    /// The simulated machine (post-run hardware counters).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// PrivLib (post-run operation accounting).
+    pub fn privlib(&self) -> &PrivLib {
+        &self.privlib
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Wake plumbing
+    // ------------------------------------------------------------------
+
+    fn wake_orch(&mut self, i: usize, at: SimTime) {
+        let o = &mut self.orchs[i];
+        if !o.scheduled {
+            o.scheduled = true;
+            let t = at.max(o.next_free);
+            self.queue.push(t, Event::OrchWake(i));
+        }
+    }
+
+    fn wake_exec(&mut self, e: usize, at: SimTime) {
+        let x = &mut self.execs[e];
+        if !x.scheduled {
+            x.scheduled = true;
+            let t = at.max(x.next_free);
+            self.queue.push(t, Event::ExecWake(e));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Orchestrator side (§3.3)
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, t: SimTime, func: FunctionId, bytes: u64) {
+        let orch = self.rr_orch;
+        self.rr_orch = (self.rr_orch + 1) % self.orchs.len();
+        let inv = Invocation::new(
+            func,
+            Origin::External { orch, arrival: t },
+            ArgBuf::new(0, bytes.max(64)),
+            t,
+        );
+        let id = self.slab.insert(inv);
+        self.orchs[orch].external.push_back(id);
+        self.wake_orch(orch, t);
+    }
+
+    fn on_orch_wake(&mut self, t: SimTime, i: usize) {
+        self.orchs[i].scheduled = false;
+        let Some((inv_id, is_internal)) = self.orchs[i].next_request(self.admission) else {
+            return;
+        };
+        let core = self.orchs[i].core;
+        let mut cost = SimDuration::ZERO;
+
+        if is_internal {
+            // Dequeue from the shared-memory inbox.
+            cost += self.machine.atomic_rmw(core, self.orchs[i].inbox_line);
+        } else if self.slab.get(inv_id).argbuf.va() == 0 {
+            // First touch of this external request: network ingest, ArgBuf
+            // allocation, payload copy-in.
+            cost += self.machine.work(self.cfg.ingest_work_ns);
+            let bytes = self.slab.get(inv_id).argbuf.len();
+            let (va, c) = self
+                .privlib
+                .mmap(&mut self.machine, core, bytes, Perm::RW, PdId::RUNTIME)
+                .expect("external ArgBuf allocation");
+            cost += c;
+            cost += self.machine.write(core, va, bytes);
+            self.slab.get_mut(inv_id).argbuf = ArgBuf::new(va, bytes);
+        }
+
+        // JBSQ: read every managed executor's queue depth, pick the
+        // shallowest (§3.3). Loads to different executors overlap up to
+        // the core's MLP.
+        let group = self.orchs[i].group.clone();
+        let mlp = self.machine.config().mlp as u64;
+        let mut sum = SimDuration::ZERO;
+        let mut worst = SimDuration::ZERO;
+        let mut best: Option<usize> = None;
+        let mut best_depth = usize::MAX;
+        for e in group {
+            let lat = self.machine.read(core, self.execs[e].queue_line, 8);
+            sum += lat;
+            worst = worst.max(lat);
+            let depth = self.execs[e].observed_depth(t);
+            if depth < best_depth {
+                best_depth = depth;
+                best = Some(e);
+            }
+        }
+        let scan = worst.max(sum / mlp)
+            + self
+                .machine
+                .work(self.cfg.scan_work_ns * self.orchs[i].group.len() as f64);
+        cost += scan;
+
+        let target = best.filter(|_| best_depth < self.cfg.queue_bound);
+        match target {
+            None => {
+                // Every queue at the JBSQ bound. Internal requests that
+                // cannot be served locally may spill to a peer worker
+                // server over the network (§3.3).
+                let spill = self.cfg.spill.filter(|s| {
+                    is_internal && self.orchs[i].internal.len() >= s.backlog_threshold
+                });
+                if let Some(spill) = spill {
+                    // Serialize the ArgBuf onto the wire and schedule the
+                    // remote completion: RTT plus the peer's execution of
+                    // the whole function tree.
+                    let bytes = self.slab.get(inv_id).argbuf.len();
+                    cost += self.machine.work(0.1 * bytes as f64 / 10.0);
+                    let remote = self.remote_service_ns(self.slab.get(inv_id).func)
+                        * spill.remote_slowdown;
+                    let done = t
+                        + cost
+                        + SimDuration::from_ns_f64(spill.network_rtt_us * 1_000.0 + remote);
+                    self.report.spilled += 1;
+                    self.orchs[i].next_free = t + cost;
+                    self.queue.push(done, Event::RemoteComplete(inv_id));
+                    if self.orchs[i].has_work() {
+                        let at = self.orchs[i].next_free;
+                        self.wake_orch(i, at);
+                    }
+                    return;
+                }
+                // Otherwise requeue and retry shortly.
+                if is_internal {
+                    self.orchs[i].internal.push_front(inv_id);
+                } else {
+                    self.orchs[i].external.push_front(inv_id);
+                }
+                self.orchs[i].next_free = t + cost;
+                self.orchs[i].scheduled = true;
+                self.queue.push(t + cost + FULL_RETRY, Event::OrchWake(i));
+            }
+            Some(e) => {
+                // Push the request into the executor's queue line.
+                cost += self.machine.write(core, self.execs[e].queue_line, 64);
+                self.execs[e].queue.push_back(inv_id);
+                let done = t + cost;
+                {
+                    let inv = self.slab.get_mut(inv_id);
+                    inv.executor = e;
+                    inv.enqueued_at = done;
+                    inv.breakdown.dispatch += cost;
+                }
+                if !is_internal {
+                    self.orchs[i].in_flight += 1;
+                }
+                self.orchs[i].dispatch_ns.record(cost.as_ns_f64());
+                self.orchs[i].next_free = done;
+                self.wake_exec(e, done);
+                if self.orchs[i].has_work() {
+                    let at = self.orchs[i].next_free;
+                    self.wake_orch(i, at);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Executor side (§3.4, Figure 4)
+    // ------------------------------------------------------------------
+
+    fn on_exec_wake(&mut self, t: SimTime, e: usize) {
+        self.execs[e].scheduled = false;
+        if let Some(id) = self.execs[e].ready.pop_front() {
+            self.resume(t, e, id);
+        } else if let Some(id) = self.execs[e].queue.pop_front() {
+            self.start(t, e, id);
+        } else {
+            return;
+        }
+        if self.execs[e].has_work() {
+            let at = self.execs[e].next_free;
+            self.wake_exec(e, at);
+        }
+    }
+
+    /// Figure 4's "Initialize PD" half: pop, create PD, allocate private
+    /// stack/heap, grant code, transfer the ArgBuf, `ccall` in.
+    fn start(&mut self, t: SimTime, e: usize, id: InvocationId) {
+        let core = self.execs[e].core;
+        let mut exec = SimDuration::ZERO;
+        let mut iso = SimDuration::ZERO;
+
+        // Pop cost: the queue line update is what invalidates the
+        // orchestrator's cached depth.
+        exec += self.machine.work(self.cfg.pickup_work_ns);
+        exec += self.machine.atomic_rmw(core, self.execs[e].queue_line);
+
+        let (func, argbuf) = {
+            let inv = self.slab.get_mut(id);
+            inv.phase = Phase::Running;
+            inv.started_at = t;
+            (inv.func, inv.argbuf)
+        };
+        let spec_stack = self.registry.spec(func).stack() + self.registry.spec(func).heap();
+        let code_va = self.code_vmas[func.0 as usize];
+
+        // PD creation + private stack/heap (one VMA covering both).
+        let (pd, c) = self
+            .privlib
+            .cget(&mut self.machine, core)
+            .expect("PD pool sized for the admission window");
+        iso += c;
+        // Memory management (also paid by Jord_NI) counts as exec; only
+        // the isolation mechanism itself (PD ops, permission transfers,
+        // walks) counts as isolation overhead.
+        let (stackheap, c) = self
+            .privlib
+            .mmap(&mut self.machine, core, spec_stack, Perm::RW, pd)
+            .expect("stack/heap allocation");
+        exec += c;
+        // Make the function code accessible to the PD …
+        iso += self
+            .privlib
+            .pcopy(&mut self.machine, core, code_va, PdId::RUNTIME, pd, Perm::RX)
+            .expect("code grant");
+        // … and hand over the ArgBuf (zero-copy: one VTE write).
+        iso += self
+            .privlib
+            .pmove(&mut self.machine, core, argbuf.va(), PdId::RUNTIME, pd, Perm::RW)
+            .expect("ArgBuf transfer");
+        // Enter the PD.
+        iso += self.privlib.ccall(&mut self.machine, core, pd).expect("ccall");
+        // First touches: every PrivLib API in the setup sequence (cget,
+        // mmap, pcopy, pmove, ccall) is a gated control transfer — one
+        // PrivLib-code fetch plus one function-code refetch each — followed
+        // by the function's stack and ArgBuf D-VLB touches.
+        for _ in 0..5 {
+            iso += self.privlib_round_trip(core, pd, code_va);
+        }
+        iso += self.translate_fetch(core, pd, code_va);
+        iso += self.translate_access(core, pd, stackheap, Perm::RW);
+        iso += self.translate_access(core, pd, argbuf.va(), Perm::RW);
+
+        {
+            let inv = self.slab.get_mut(id);
+            inv.pd = pd;
+            inv.pd_active = true;
+            inv.stackheap = stackheap;
+            inv.breakdown.isolation += iso;
+            inv.breakdown.exec += exec;
+        }
+        self.run_segment(t, exec + iso, e, id);
+    }
+
+    fn resume(&mut self, t: SimTime, e: usize, id: InvocationId) {
+        let core = self.execs[e].core;
+        let pd = self.slab.get(id).pd;
+        let mut iso = SimDuration::ZERO;
+        let mut exec = SimDuration::ZERO;
+        // `center` back into the suspended continuation (through PrivLib's
+        // gate, then the function's code — two I-VLB lookups).
+        iso += self
+            .privlib
+            .center(&mut self.machine, core, pd)
+            .expect("resume into live PD");
+        let code_va = self.code_vmas[self.slab.get(id).func.0 as usize];
+        iso += self.privlib_round_trip(core, pd, code_va);
+        // Consume and free the finished children's ArgBufs.
+        let pending = std::mem::take(&mut self.slab.get_mut(id).pending_free);
+        for (va, len) in pending {
+            exec += self.bulk_translate(core, pd, va, len, Perm::READ, 3);
+            exec += self.machine.read(core, va, len);
+            exec += self
+                .privlib
+                .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                .expect("child ArgBuf free");
+        }
+        {
+            let inv = self.slab.get_mut(id);
+            inv.phase = Phase::Running;
+            inv.breakdown.isolation += iso;
+            inv.breakdown.exec += exec;
+        }
+        self.run_segment(t, iso + exec, e, id);
+    }
+
+    /// Interprets ops from the continuation's pc until it suspends or
+    /// finishes; `offset` is time already consumed in this action.
+    fn run_segment(&mut self, t: SimTime, offset: SimDuration, e: usize, id: InvocationId) {
+        let core = self.execs[e].core;
+        let mut acc = offset;
+        loop {
+            let (func, pc, pd) = {
+                let inv = self.slab.get(id);
+                (inv.func, inv.pc, inv.pd)
+            };
+            let op = self.registry.spec(func).ops().get(pc).cloned();
+            match op {
+                None => {
+                    self.finish(t, acc, e, id);
+                    return;
+                }
+                Some(FuncOp::Compute(dist)) => {
+                    // Compute phases run out of the private stack/heap; the
+                    // D-VLB must hold its translation alongside the ArgBufs
+                    // the surrounding ops touch (the Figure 12 D-VLB
+                    // pressure). A hit charges nothing.
+                    let stackheap = self.slab.get(id).stackheap;
+                    let walk = if stackheap != 0 {
+                        self.translate_access(core, pd, stackheap, Perm::RW)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    let d = dist.sample(&mut self.rng);
+                    acc += walk + d;
+                    let inv = self.slab.get_mut(id);
+                    inv.breakdown.isolation += walk;
+                    inv.breakdown.exec += d;
+                    inv.pc += 1;
+                }
+                Some(FuncOp::ReadInput) => {
+                    let argbuf = self.slab.get(id).argbuf;
+                    let walk =
+                        self.bulk_translate(core, pd, argbuf.va(), argbuf.len(), Perm::READ, 2);
+                    let d = self.machine.read(core, argbuf.va(), argbuf.len());
+                    acc += walk + d;
+                    let inv = self.slab.get_mut(id);
+                    inv.breakdown.isolation += walk;
+                    inv.breakdown.exec += d;
+                    inv.pc += 1;
+                }
+                Some(FuncOp::WriteOutput) => {
+                    let argbuf = self.slab.get(id).argbuf;
+                    let walk =
+                        self.bulk_translate(core, pd, argbuf.va(), argbuf.len(), Perm::WRITE, 2);
+                    let d = self.machine.write(core, argbuf.va(), argbuf.len());
+                    acc += walk + d;
+                    let inv = self.slab.get_mut(id);
+                    inv.breakdown.isolation += walk;
+                    inv.breakdown.exec += d;
+                    inv.pc += 1;
+                }
+                Some(FuncOp::MmapTemp { bytes }) => {
+                    let code_va = self.code_vmas[func.0 as usize];
+                    let trans = self.privlib_round_trip(core, pd, code_va);
+                    let (gate, gate_cost) = self
+                        .privlib
+                        .try_enter(&self.machine, core, true)
+                        .expect("gated entry");
+                    let _ = gate;
+                    let gate_cost = gate_cost + trans;
+                    let (va, c) = self
+                        .privlib
+                        .mmap(&mut self.machine, core, bytes, Perm::RW, pd)
+                        .expect("temp mmap");
+                    acc += gate_cost + c;
+                    let inv = self.slab.get_mut(id);
+                    inv.breakdown.isolation += gate_cost;
+                    inv.breakdown.exec += c;
+                    inv.temps.push(va);
+                    inv.pc += 1;
+                }
+                Some(FuncOp::MunmapTemp) => {
+                    let va = self.slab.get_mut(id).temps.pop();
+                    let mut gate = SimDuration::ZERO;
+                    let mut mem = SimDuration::ZERO;
+                    if let Some(va) = va {
+                        let code_va = self.code_vmas[func.0 as usize];
+                        gate += self.privlib_round_trip(core, pd, code_va);
+                        let (_, gate_cost) = self
+                            .privlib
+                            .try_enter(&self.machine, core, true)
+                            .expect("gated entry");
+                        gate += gate_cost;
+                        mem += self
+                            .privlib
+                            .munmap(&mut self.machine, core, va, pd)
+                            .expect("temp munmap");
+                    }
+                    acc += gate + mem;
+                    let inv = self.slab.get_mut(id);
+                    inv.breakdown.isolation += gate;
+                    inv.breakdown.exec += mem;
+                    inv.pc += 1;
+                }
+                Some(FuncOp::Invoke {
+                    target,
+                    arg_bytes,
+                    asynchronous,
+                }) => {
+                    let mut iso = SimDuration::ZERO;
+                    let mut exec = SimDuration::ZERO;
+                    // jord::argBuf<T>: allocate the child's ArgBuf (owned
+                    // by the runtime, readable/writable by this PD).
+                    // Three gated PrivLib calls: argBuf mmap, pcopy, and
+                    // the call/async submission itself.
+                    let code_va = self.code_vmas[func.0 as usize];
+                    for _ in 0..3 {
+                        iso += self.privlib_round_trip(core, pd, code_va);
+                    }
+                    let (gate, gate_cost) = self
+                        .privlib
+                        .try_enter(&self.machine, core, true)
+                        .expect("gated entry");
+                    let _ = gate;
+                    iso += gate_cost;
+                    let bytes = arg_bytes.max(64);
+                    let (va, c) = self
+                        .privlib
+                        .mmap(&mut self.machine, core, bytes, Perm::RW, PdId::RUNTIME)
+                        .expect("child ArgBuf");
+                    exec += c;
+                    iso += self
+                        .privlib
+                        .pcopy(&mut self.machine, core, va, PdId::RUNTIME, pd, Perm::RW)
+                        .expect("ArgBuf share with caller");
+                    // Populate the arguments (stack + own ArgBuf + the
+                    // child's ArgBuf are all live in this loop).
+                    exec += self.bulk_translate(core, pd, va, bytes, Perm::WRITE, 3);
+                    exec += self.machine.write(core, va, bytes);
+
+                    // Create the internal request and push it to our
+                    // orchestrator's inbox.
+                    let child = self.slab.insert(Invocation::new(
+                        target,
+                        Origin::Internal {
+                            parent: id,
+                            synchronous: !asynchronous,
+                        },
+                        ArgBuf::new(va, bytes),
+                        t + acc,
+                    ));
+                    let orch = self.execs[e].orch;
+                    exec += self.machine.work(INTERNAL_PUSH_NS);
+                    exec += self.machine.write(core, self.orchs[orch].inbox_line, 64);
+                    acc += iso + exec;
+                    self.orchs[orch].internal.push_back(child);
+                    self.wake_orch(orch, t + acc);
+
+                    {
+                        let inv = self.slab.get_mut(id);
+                        inv.breakdown.isolation += iso;
+                        inv.breakdown.exec += exec;
+                        inv.pc += 1;
+                    }
+                    if asynchronous {
+                        self.slab.get_mut(id).outstanding += 1;
+                    } else {
+                        // jord::call: suspend until the child completes.
+                        let cex = self.privlib.cexit(&mut self.machine, core);
+                        acc += cex;
+                        let inv = self.slab.get_mut(id);
+                        inv.breakdown.isolation += cex;
+                        inv.blocked_on = Some(child);
+                        inv.phase = Phase::Suspended;
+                        self.execs[e].next_free = t + acc;
+                        return;
+                    }
+                }
+                Some(FuncOp::WaitAll) => {
+                    let outstanding = self.slab.get(id).outstanding;
+                    if outstanding == 0 {
+                        self.slab.get_mut(id).pc += 1;
+                    } else {
+                        let cex = self.privlib.cexit(&mut self.machine, core);
+                        acc += cex;
+                        let inv = self.slab.get_mut(id);
+                        inv.breakdown.isolation += cex;
+                        inv.waiting_all = true;
+                        inv.phase = Phase::Suspended;
+                        self.execs[e].next_free = t + acc;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Figure 4's "Destroy PD" half plus completion notification.
+    fn finish(&mut self, t: SimTime, offset: SimDuration, e: usize, id: InvocationId) {
+        let core = self.execs[e].core;
+        let mut acc = offset;
+        let mut iso = SimDuration::ZERO;
+        let (pd, argbuf, stackheap, func) = {
+            let inv = self.slab.get(id);
+            (inv.pd, inv.argbuf, inv.stackheap, inv.func)
+        };
+        let code_va = self.code_vmas[func.0 as usize];
+
+        // The teardown sequence (cexit, pmove, revoke, munmap, cput) is
+        // five more gated transfers through PrivLib code.
+        for _ in 0..5 {
+            iso += self.privlib_round_trip(core, pd, code_va);
+        }
+        // Control returns to the executor.
+        iso += self.privlib.cexit(&mut self.machine, core);
+        // Transfer the ArgBuf back, revoke code, free stack/heap, drop PD.
+        iso += self
+            .privlib
+            .pmove(&mut self.machine, core, argbuf.va(), pd, PdId::RUNTIME, Perm::RW)
+            .expect("ArgBuf return");
+        iso += self
+            .privlib
+            .mprotect(&mut self.machine, core, code_va, Perm::NONE, pd)
+            .expect("code revoke");
+        let mut mem = SimDuration::ZERO;
+        mem += self
+            .privlib
+            .munmap(&mut self.machine, core, stackheap, PdId::RUNTIME)
+            .expect("stack/heap free");
+        // Free any leaked temps and unconsumed child buffers.
+        let (temps, pending) = {
+            let inv = self.slab.get_mut(id);
+            (std::mem::take(&mut inv.temps), std::mem::take(&mut inv.pending_free))
+        };
+        for va in temps {
+            mem += self
+                .privlib
+                .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                .expect("temp cleanup");
+        }
+        for (va, _) in pending {
+            mem += self
+                .privlib
+                .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                .expect("child ArgBuf cleanup");
+        }
+        iso += self
+            .privlib
+            .cput(&mut self.machine, core, pd)
+            .expect("PD destroy");
+        acc += iso + mem;
+        {
+            let inv = self.slab.get_mut(id);
+            inv.breakdown.isolation += iso;
+            inv.breakdown.exec += mem;
+        }
+
+        // Completion notification.
+        let origin = self.slab.get(id).origin;
+        match origin {
+            Origin::External { orch, arrival } => {
+                let mut d = self.machine.work(NOTIFY_NS);
+                d += self.machine.write(core, self.orchs[orch].resp_line, 64);
+                // Free the request ArgBuf (memory management → exec).
+                d += self
+                    .privlib
+                    .munmap(&mut self.machine, core, argbuf.va(), PdId::RUNTIME)
+                    .expect("request ArgBuf free");
+                acc += d;
+                self.slab.get_mut(id).breakdown.exec += d;
+                let done = t + acc;
+                if self.measuring() {
+                    self.report.record_request(done.saturating_since(arrival));
+                } else {
+                    self.warmed += 1;
+                    self.report.offered -= 1;
+                }
+                self.orchs[orch].in_flight -= 1;
+                if self.orchs[orch].has_work() {
+                    self.wake_orch(orch, done);
+                }
+            }
+            Origin::Internal { parent, .. } => {
+                let done = t + acc;
+                // Hand the result buffer to the parent and maybe unblock it.
+                let parent_exec = {
+                    let p = self.slab.get_mut(parent);
+                    p.pending_free.push((argbuf.va(), argbuf.len()));
+                    let unblocked = if p.blocked_on == Some(id) {
+                        p.blocked_on = None;
+                        true
+                    } else {
+                        debug_assert!(p.outstanding > 0);
+                        p.outstanding -= 1;
+                        p.waiting_all && p.outstanding == 0
+                    };
+                    if unblocked {
+                        p.waiting_all = false;
+                        Some(p.executor)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(pe) = parent_exec {
+                    self.execs[pe].ready.push_back(parent);
+                    self.wake_exec(pe, done);
+                }
+            }
+        }
+
+        // Record and retire.
+        let done = t + acc;
+        let (service, breakdown) = {
+            let inv = self.slab.get_mut(id);
+            inv.phase = Phase::Done;
+            (done.saturating_since(inv.enqueued_at), inv.breakdown)
+        };
+        if self.measuring() {
+            self.report.record_invocation(func, service, breakdown);
+        }
+        self.slab.remove(id);
+        self.execs[e].next_free = done;
+    }
+
+    /// Mean execution time of `func`'s whole invocation tree (the peer is
+    /// assumed unloaded; a small per-invocation overhead stands in for its
+    /// own dispatch/isolation).
+    fn remote_service_ns(&self, func: FunctionId) -> f64 {
+        const PER_INVOCATION_OVERHEAD_NS: f64 = 400.0;
+        let mut total = self.registry.spec(func).mean_compute_ns() + PER_INVOCATION_OVERHEAD_NS;
+        for op in self.registry.spec(func).ops() {
+            if let FuncOp::Invoke { target, .. } = op {
+                total += self.remote_service_ns(*target);
+            }
+        }
+        total
+    }
+
+    /// A spilled invocation finished on the peer: free its ArgBuf and
+    /// notify the parent exactly as a local completion would.
+    fn on_remote_complete(&mut self, t: SimTime, id: InvocationId) {
+        let (func, argbuf, origin, enq) = {
+            let inv = self.slab.get(id);
+            (inv.func, inv.argbuf, inv.origin, inv.enqueued_at)
+        };
+        match origin {
+            Origin::External { .. } => {
+                unreachable!("only internal requests spill (§3.3)")
+            }
+            Origin::Internal { parent, .. } => {
+                let parent_exec = {
+                    let p = self.slab.get_mut(parent);
+                    p.pending_free.push((argbuf.va(), argbuf.len()));
+                    let unblocked = if p.blocked_on == Some(id) {
+                        p.blocked_on = None;
+                        true
+                    } else {
+                        debug_assert!(p.outstanding > 0);
+                        p.outstanding -= 1;
+                        p.waiting_all && p.outstanding == 0
+                    };
+                    if unblocked {
+                        p.waiting_all = false;
+                        Some(p.executor)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(pe) = parent_exec {
+                    self.execs[pe].ready.push_back(parent);
+                    self.wake_exec(pe, t);
+                }
+            }
+        }
+        if self.measuring() {
+            let inv = self.slab.get(id);
+            self.report
+                .record_invocation(func, t.saturating_since(enq), inv.breakdown);
+        }
+        self.slab.remove(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Translation helpers
+    // ------------------------------------------------------------------
+
+    fn translate_access(&mut self, core: CoreId, pd: PdId, va: Va, perm: Perm) -> SimDuration {
+        self.privlib
+            .access(&mut self.machine, core, pd, va, perm)
+            .expect("runtime-issued access is always legal")
+    }
+
+    /// Data translation for a bulk access loop whose body alternates
+    /// between `working_set` live VMAs (the buffer, the private stack, …).
+    /// When the D-VLB holds the whole set, only the first touch can miss;
+    /// when it cannot (Figure 12's 1–2-entry configurations), every
+    /// iteration of the loop re-walks — the per-line amplification below.
+    fn bulk_translate(
+        &mut self,
+        core: CoreId,
+        pd: PdId,
+        va: Va,
+        len: u64,
+        perm: Perm,
+        working_set: usize,
+    ) -> SimDuration {
+        let walk = self.translate_access(core, pd, va, perm);
+        if !walk.is_zero() && self.machine.config().dvlb_entries < working_set {
+            let lines = jord_hw::types::LineAddr::span(va, len).max(1);
+            return walk * lines;
+        }
+        walk
+    }
+
+    fn translate_fetch(&mut self, core: CoreId, pd: PdId, va: Va) -> SimDuration {
+        self.privlib
+            .fetch(&mut self.machine, core, pd, va)
+            .expect("runtime-issued fetch is always legal")
+    }
+
+    /// A function → PrivLib → function control transfer: two instruction
+    /// fetches on the I-VLB (the gated entry into PrivLib's global code
+    /// VMA, and the return into the function's code). With ≥2 I-VLB
+    /// entries both hit; with one entry every transition re-walks (the
+    /// Figure 12 sensitivity).
+    fn privlib_round_trip(&mut self, core: CoreId, pd: PdId, code_va: Va) -> SimDuration {
+        let privlib_code = self.privlib_code;
+        let enter = self
+            .privlib
+            .fetch_gated(&mut self.machine, core, pd, privlib_code);
+        let back = self.translate_fetch(core, pd, code_va);
+        enter + back
+    }
+}
+
+impl std::fmt::Debug for WorkerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerServer")
+            .field("variant", &self.cfg.variant)
+            .field("orchestrators", &self.orchs.len())
+            .field("executors", &self.execs.len())
+            .field("live_invocations", &self.slab.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemVariant;
+    use crate::function::FunctionSpec;
+    use jord_sim::TimeDist;
+
+    fn registry_leaf() -> (FunctionRegistry, FunctionId) {
+        let mut r = FunctionRegistry::new();
+        let f = r.register(
+            FunctionSpec::new("leaf")
+                .op(FuncOp::ReadInput)
+                .op(FuncOp::Compute(TimeDist::fixed(1_000.0)))
+                .op(FuncOp::WriteOutput),
+        );
+        (r, f)
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let (r, f) = registry_leaf();
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        s.push_request(SimTime::ZERO, f, 512);
+        let report = s.run();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.invocations, 1);
+        let lat = report.latency.max().unwrap().as_us_f64();
+        assert!((1.0..10.0).contains(&lat), "latency {lat} µs out of range");
+    }
+
+    #[test]
+    fn nested_sync_call_completes_and_counts_two_invocations() {
+        let mut r = FunctionRegistry::new();
+        let leaf = r.register(
+            FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(500.0))),
+        );
+        let root = r.register(
+            FunctionSpec::new("root")
+                .op(FuncOp::Compute(TimeDist::fixed(300.0)))
+                .call(leaf, 128)
+                .op(FuncOp::WriteOutput),
+        );
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        s.push_request(SimTime::ZERO, root, 256);
+        let report = s.run();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.invocations, 2);
+        // Root service must cover child's service.
+        let root_ns = report.functions[&root].mean_service_ns();
+        let leaf_ns = report.functions[&leaf].mean_service_ns();
+        assert!(root_ns > leaf_ns + 300.0, "root {root_ns} leaf {leaf_ns}");
+    }
+
+    #[test]
+    fn async_calls_join_at_waitall() {
+        let mut r = FunctionRegistry::new();
+        let leaf =
+            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(2_000.0))));
+        let root = r.register(
+            FunctionSpec::new("root")
+                .call_async(leaf, 128)
+                .call_async(leaf, 128)
+                .call_async(leaf, 128)
+                .op(FuncOp::WaitAll)
+                .op(FuncOp::WriteOutput),
+        );
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        s.push_request(SimTime::ZERO, root, 256);
+        let report = s.run();
+        assert_eq!(report.invocations, 4);
+        // Async children overlap: root service ≪ 3 × 2 µs + overheads.
+        let root_ns = report.functions[&root].mean_service_ns();
+        assert!(root_ns < 5_500.0, "async fan-out must overlap, got {root_ns} ns");
+        assert!(root_ns > 2_000.0);
+    }
+
+    #[test]
+    fn deep_nesting_makes_forward_progress() {
+        // A chain deeper than the JBSQ bound exercises the internal-queue
+        // priority rule (§3.3's deadlock-avoidance mechanism).
+        let mut r = FunctionRegistry::new();
+        let mut f = r.register(FunctionSpec::new("f0").op(FuncOp::Compute(TimeDist::fixed(100.0))));
+        for depth in 1..12 {
+            f = r.register(
+                FunctionSpec::new(format!("f{depth}"))
+                    .op(FuncOp::Compute(TimeDist::fixed(100.0)))
+                    .call(f, 128),
+            );
+        }
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        for i in 0..64 {
+            s.push_request(SimTime::from_ns(i * 50), f, 256);
+        }
+        let report = s.run();
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.invocations, 64 * 12);
+    }
+
+    #[test]
+    fn temp_vmas_alloc_and_free() {
+        let mut r = FunctionRegistry::new();
+        let f = r.register(
+            FunctionSpec::new("mapper")
+                .op(FuncOp::MmapTemp { bytes: 4096 })
+                .op(FuncOp::Compute(TimeDist::fixed(200.0)))
+                .op(FuncOp::MunmapTemp),
+        );
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        for i in 0..10 {
+            s.push_request(SimTime::from_us(i), f, 128);
+        }
+        let report = s.run();
+        assert_eq!(report.completed, 10);
+        // All VMAs must be returned (only boot + code VMAs remain).
+        assert_eq!(s.privlib().live_vmas(), 3 + 1);
+    }
+
+    #[test]
+    fn variants_order_sanely_on_identical_load() {
+        let mk = |variant| {
+            let (r, f) = registry_leaf();
+            let cfg = RuntimeConfig::variant_on(variant, jord_hw::MachineConfig::isca25());
+            let mut s = WorkerServer::new(cfg, r).unwrap();
+            let mut rng = Rng::new(7);
+            let mut t = SimTime::ZERO;
+            for _ in 0..2000 {
+                t += SimDuration::from_ns_f64(rng.exponential(1000.0));
+                s.push_request(t, f, 512);
+            }
+            let rep = s.run();
+            assert_eq!(rep.completed, 2000);
+            rep.latency.mean().unwrap().as_ns_f64()
+        };
+        let ni = mk(SystemVariant::JordNi);
+        let jord = mk(SystemVariant::Jord);
+        let bt = mk(SystemVariant::JordBt);
+        assert!(ni < jord, "NI ({ni}) must beat Jord ({jord})");
+        assert!(jord < bt, "plain list ({jord}) must beat B-tree ({bt})");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = || {
+            let (r, f) = registry_leaf();
+            let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+            for i in 0..500 {
+                s.push_request(SimTime::from_ns(i * 777), f, 256);
+            }
+            let rep = s.run();
+            (rep.latency.quantile(0.5), rep.latency.max(), rep.finished_at)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn internal_requests_spill_to_peer_servers_under_pressure() {
+        use crate::config::SpillConfig;
+        // A wide fan-out workload on a deliberately tiny machine with a
+        // tight JBSQ bound: local executors cannot absorb the internal
+        // burst, so the orchestrator must ship some of it to a peer (§3.3).
+        let mut r = FunctionRegistry::new();
+        let leaf =
+            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(3_000.0))));
+        let mut root = FunctionSpec::new("root").op(FuncOp::ReadInput);
+        for _ in 0..24 {
+            root = root.call_async(leaf, 128);
+        }
+        let root = r.register(root.op(FuncOp::WaitAll).op(FuncOp::WriteOutput));
+
+        let mut cfg =
+            RuntimeConfig::variant_on(SystemVariant::Jord, jord_hw::MachineConfig::scaled(16))
+                .with_spill(SpillConfig {
+                    network_rtt_us: 10.0,
+                    backlog_threshold: 4,
+                    remote_slowdown: 1.0,
+                });
+        cfg.queue_bound = 1;
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        for i in 0..200u64 {
+            s.push_request(SimTime::from_ns(i * 2_000), root, 256);
+        }
+        let rep = s.run();
+        assert_eq!(rep.completed, 200);
+        assert_eq!(rep.invocations, 200 * 25);
+        assert!(rep.spilled > 0, "pressure must have spilled internals");
+        assert!(
+            rep.spilled < rep.invocations,
+            "most work still runs locally"
+        );
+    }
+
+    #[test]
+    fn spill_disabled_keeps_everything_local() {
+        let (r, f) = registry_leaf();
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        for i in 0..500u64 {
+            s.push_request(SimTime::from_ns(i * 100), f, 128);
+        }
+        let rep = s.run();
+        assert_eq!(rep.spilled, 0);
+    }
+
+    #[test]
+    fn overload_grows_latency_but_completes() {
+        let (r, f) = registry_leaf();
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        // 10 k requests in 10 µs: far beyond capacity.
+        for i in 0..10_000u64 {
+            s.push_request(SimTime::from_ps(i), f, 128);
+        }
+        let rep = s.run();
+        assert_eq!(rep.completed, 10_000);
+        let p99 = rep.p99().unwrap();
+        let p50 = rep.latency.quantile(0.5).unwrap();
+        assert!(p99 > p50, "overload must show queueing tail");
+        assert!(p99.as_us_f64() > 50.0, "p99 {p99} should reflect heavy queueing");
+    }
+}

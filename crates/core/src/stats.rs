@@ -1,0 +1,193 @@
+//! Run-level measurement: request latencies, function service times, and
+//! the per-function breakdowns behind Figures 9–11 and 14.
+
+use std::collections::HashMap;
+
+use jord_sim::{LatencyHistogram, OnlineStats, SimDuration, SimTime};
+
+use crate::function::FunctionId;
+use crate::invocation::Breakdown;
+
+/// Accumulated per-function service statistics (Figure 11's bars).
+#[derive(Debug, Clone, Default)]
+pub struct FunctionBreakdown {
+    /// Completed invocations.
+    pub count: u64,
+    /// Σ business-logic time.
+    pub exec: SimDuration,
+    /// Σ memory-isolation time.
+    pub isolation: SimDuration,
+    /// Σ dispatch time.
+    pub dispatch: SimDuration,
+    /// Σ end-to-end service time (dispatch + queueing + execution +
+    /// waiting on children).
+    pub service: SimDuration,
+}
+
+impl FunctionBreakdown {
+    /// Mean service time in ns.
+    pub fn mean_service_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.service.as_ns_f64() / self.count as f64
+    }
+
+    /// Mean (exec, isolation, dispatch) in ns.
+    pub fn mean_parts_ns(&self) -> (f64, f64, f64) {
+        if self.count == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.count as f64;
+        (
+            self.exec.as_ns_f64() / n,
+            self.isolation.as_ns_f64() / n,
+            self.dispatch.as_ns_f64() / n,
+        )
+    }
+
+    /// Overhead fraction of service time: (isolation + dispatch) / service.
+    pub fn overhead_fraction(&self) -> f64 {
+        let s = self.service.as_ns_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        (self.isolation.as_ns_f64() + self.dispatch.as_ns_f64()) / s
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// External requests injected.
+    pub offered: u64,
+    /// External requests completed.
+    pub completed: u64,
+    /// End-to-end request latency (orchestrator receipt → completion
+    /// notice, §5).
+    pub latency: LatencyHistogram,
+    /// Per-invocation function service time (Figure 10's CDF).
+    pub service: LatencyHistogram,
+    /// Per-function breakdowns (Figure 11).
+    pub functions: HashMap<FunctionId, FunctionBreakdown>,
+    /// Orchestrator dispatch latencies in ns (Figure 14).
+    pub dispatch_ns: OnlineStats,
+    /// VLB shootdown completion latencies in ns (Figure 14).
+    pub shootdown_ns: OnlineStats,
+    /// Simulated completion time of the last event.
+    pub finished_at: SimTime,
+    /// Total invocations executed (external + nested).
+    pub invocations: u64,
+    /// Internal requests spilled to peer worker servers (§3.3).
+    pub spilled: u64,
+}
+
+impl RunReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        RunReport {
+            offered: 0,
+            completed: 0,
+            latency: LatencyHistogram::new(),
+            service: LatencyHistogram::new(),
+            functions: HashMap::new(),
+            dispatch_ns: OnlineStats::new(),
+            shootdown_ns: OnlineStats::new(),
+            finished_at: SimTime::ZERO,
+            invocations: 0,
+            spilled: 0,
+        }
+    }
+
+    /// Records a completed invocation's service time and breakdown.
+    pub fn record_invocation(
+        &mut self,
+        func: FunctionId,
+        service: SimDuration,
+        breakdown: Breakdown,
+    ) {
+        self.invocations += 1;
+        self.service.record(service);
+        let f = self.functions.entry(func).or_default();
+        f.count += 1;
+        f.exec += breakdown.exec;
+        f.isolation += breakdown.isolation;
+        f.dispatch += breakdown.dispatch;
+        f.service += service;
+    }
+
+    /// Records a completed external request's end-to-end latency.
+    pub fn record_request(&mut self, latency: SimDuration) {
+        self.completed += 1;
+        self.latency.record(latency);
+    }
+
+    /// p99 request latency, if any requests completed.
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.latency.p99()
+    }
+
+    /// Mean isolation+dispatch overhead per completed request, ns.
+    pub fn overhead_per_request_ns(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .functions
+            .values()
+            .map(|f| f.isolation.as_ns_f64() + f.dispatch.as_ns_f64())
+            .sum();
+        total / self.completed as f64
+    }
+}
+
+impl Default for RunReport {
+    fn default() -> Self {
+        RunReport::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_function() {
+        let mut r = RunReport::new();
+        let f = FunctionId(1);
+        let b = Breakdown {
+            exec: SimDuration::from_ns(1000),
+            isolation: SimDuration::from_ns(100),
+            dispatch: SimDuration::from_ns(50),
+        };
+        r.record_invocation(f, SimDuration::from_ns(1200), b);
+        r.record_invocation(f, SimDuration::from_ns(1400), b);
+        let fb = &r.functions[&f];
+        assert_eq!(fb.count, 2);
+        assert_eq!(fb.mean_service_ns(), 1300.0);
+        let (e, i, d) = fb.mean_parts_ns();
+        assert_eq!((e, i, d), (1000.0, 100.0, 50.0));
+        assert!((fb.overhead_fraction() - 150.0 / 1300.0).abs() < 1e-12);
+        assert_eq!(r.invocations, 2);
+    }
+
+    #[test]
+    fn request_latency_feeds_p99() {
+        let mut r = RunReport::new();
+        for ns in 1..=100 {
+            r.record_request(SimDuration::from_us(ns));
+        }
+        assert_eq!(r.completed, 100);
+        let p99 = r.p99().unwrap().as_us_f64();
+        assert!((98.0..=101.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = RunReport::new();
+        assert_eq!(r.p99(), None);
+        assert_eq!(r.overhead_per_request_ns(), 0.0);
+        assert_eq!(FunctionBreakdown::default().mean_service_ns(), 0.0);
+        assert_eq!(FunctionBreakdown::default().overhead_fraction(), 0.0);
+    }
+}

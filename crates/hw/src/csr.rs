@@ -1,0 +1,138 @@
+//! Jord's user-level control and status registers (§4.1/4.3).
+//!
+//! * `uatp` — User Address Translation and Protection: base address of the
+//!   VMA table and the enable bit for plain-list translation.
+//! * `uatc` — User Address Translation Configuration: the VA encoding
+//!   scheme (Top-bit tag, size-class field position, table capacity).
+//! * `ucid` — User Continuation ID: the currently executing PD.
+//!
+//! All three are readable/writable only by privileged (P-bit) code; the
+//! decoder marks unprivileged CSR instructions illegal (§4.3). The OS
+//! saves/restores them on process context switches (§4.4) — outside this
+//! model's scope, since a worker server owns its cores.
+
+use crate::fault::Fault;
+use crate::types::PdId;
+
+/// Identifies one of Jord's CSRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Csr {
+    /// VMA-table base + enable.
+    Uatp,
+    /// VA-encoding configuration.
+    Uatc,
+    /// Active protection-domain id.
+    Ucid,
+}
+
+impl Csr {
+    /// The architectural name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Csr::Uatp => "uatp",
+            Csr::Uatc => "uatc",
+            Csr::Ucid => "ucid",
+        }
+    }
+}
+
+/// The per-core CSR file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreCsrs {
+    uatp: u64,
+    uatc: u64,
+    ucid: PdId,
+}
+
+impl CoreCsrs {
+    /// Reset state: translation disabled, PD = runtime.
+    pub fn new() -> Self {
+        CoreCsrs::default()
+    }
+
+    /// Reads a CSR. `privileged` reflects the P bit of the executing
+    /// instruction (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::CsrAccess`] if the instruction is unprivileged.
+    pub fn read(&self, csr: Csr, privileged: bool) -> Result<u64, Fault> {
+        if !privileged {
+            return Err(Fault::CsrAccess { csr: csr.name() });
+        }
+        Ok(match csr {
+            Csr::Uatp => self.uatp,
+            Csr::Uatc => self.uatc,
+            Csr::Ucid => self.ucid.0 as u64,
+        })
+    }
+
+    /// Writes a CSR under the same privilege rule as [`read`](Self::read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::CsrAccess`] if the instruction is unprivileged.
+    pub fn write(&mut self, csr: Csr, value: u64, privileged: bool) -> Result<(), Fault> {
+        if !privileged {
+            return Err(Fault::CsrAccess { csr: csr.name() });
+        }
+        match csr {
+            Csr::Uatp => self.uatp = value,
+            Csr::Uatc => self.uatc = value,
+            Csr::Ucid => self.ucid = PdId(value as u16),
+        }
+        Ok(())
+    }
+
+    /// The active protection domain (fast path for the pipeline; reading
+    /// `ucid` architecturally still requires privilege).
+    pub fn current_pd(&self) -> PdId {
+        self.ucid
+    }
+
+    /// True if plain-list translation is enabled (uatp bit 0).
+    pub fn translation_enabled(&self) -> bool {
+        self.uatp & 1 != 0
+    }
+
+    /// VMA-table base address from `uatp` (bits 63:12, 4 KiB aligned).
+    pub fn table_base(&self) -> u64 {
+        self.uatp & !0xFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privileged_rw_roundtrips() {
+        let mut c = CoreCsrs::new();
+        c.write(Csr::Uatp, 0xABC0_0001, true).unwrap();
+        assert_eq!(c.read(Csr::Uatp, true).unwrap(), 0xABC0_0001);
+        assert!(c.translation_enabled());
+        assert_eq!(c.table_base(), 0xABC0_0000);
+        c.write(Csr::Ucid, 42, true).unwrap();
+        assert_eq!(c.current_pd(), PdId(42));
+    }
+
+    #[test]
+    fn unprivileged_access_faults() {
+        let mut c = CoreCsrs::new();
+        assert_eq!(
+            c.read(Csr::Ucid, false),
+            Err(Fault::CsrAccess { csr: "ucid" })
+        );
+        assert_eq!(
+            c.write(Csr::Uatc, 1, false),
+            Err(Fault::CsrAccess { csr: "uatc" })
+        );
+    }
+
+    #[test]
+    fn reset_state_disables_translation() {
+        let c = CoreCsrs::new();
+        assert!(!c.translation_enabled());
+        assert_eq!(c.current_pd(), PdId::RUNTIME);
+    }
+}

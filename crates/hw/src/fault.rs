@@ -1,0 +1,106 @@
+//! The Jord fault taxonomy.
+//!
+//! §3.1: "Jord enforces isolation by generating a hardware fault whenever
+//! untrusted code reads, writes, or executes a memory address that is either
+//! not mapped by a VMA or whose VMA does not have appropriate access
+//! permissions in the PD where the code executes." §4.3 adds the privilege
+//! (P-bit) checks and the `uatg` call-gate rule.
+
+use core::fmt;
+
+use crate::types::{PdId, Perm, Va};
+
+/// A hardware fault raised by Jord's translation/protection machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The VA is not covered by any VMA in the table.
+    Unmapped {
+        /// Faulting virtual address.
+        va: Va,
+    },
+    /// The VMA exists but grants no entry (or insufficient permission) to
+    /// the executing PD.
+    Permission {
+        /// Faulting virtual address.
+        va: Va,
+        /// The domain that attempted the access.
+        pd: PdId,
+        /// The permission the access required.
+        needed: Perm,
+        /// The permission the PD actually holds.
+        held: Perm,
+    },
+    /// Non-privileged code touched a privileged (P-bit) VMA or CSR (§4.3).
+    Privilege {
+        /// Faulting virtual address (or CSR pseudo-address).
+        va: Va,
+    },
+    /// Control flow entered a privileged VMA whose first instruction was
+    /// not `uatg` — the decoder marks it illegal (§4.3).
+    MissingGate {
+        /// The target of the illegal privileged entry.
+        va: Va,
+    },
+    /// A non-privileged instruction accessed `uatp`/`uatc`/`ucid`.
+    CsrAccess {
+        /// Name of the CSR that was touched.
+        csr: &'static str,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Unmapped { va } => write!(f, "translation fault: unmapped va {va:#x}"),
+            Fault::Permission { va, pd, needed, held } => write!(
+                f,
+                "permission fault: {pd} needs {needed} but holds {held} at va {va:#x}"
+            ),
+            Fault::Privilege { va } => {
+                write!(f, "privilege fault: unprivileged access to privileged va {va:#x}")
+            }
+            Fault::MissingGate { va } => {
+                write!(f, "illegal instruction: privileged entry without uatg at {va:#x}")
+            }
+            Fault::CsrAccess { csr } => {
+                write!(f, "illegal instruction: unprivileged access to csr {csr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_display_meaningfully() {
+        let cases: Vec<(Fault, &str)> = vec![
+            (Fault::Unmapped { va: 0x10 }, "unmapped"),
+            (
+                Fault::Permission {
+                    va: 0x20,
+                    pd: PdId(3),
+                    needed: Perm::WRITE,
+                    held: Perm::READ,
+                },
+                "permission fault",
+            ),
+            (Fault::Privilege { va: 0x30 }, "privilege fault"),
+            (Fault::MissingGate { va: 0x40 }, "uatg"),
+            (Fault::CsrAccess { csr: "ucid" }, "ucid"),
+        ];
+        for (fault, needle) in cases {
+            let s = fault.to_string();
+            assert!(s.contains(needle), "{s} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn fault_is_an_error_type() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(Fault::Unmapped { va: 0 });
+    }
+}

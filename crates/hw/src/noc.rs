@@ -1,0 +1,203 @@
+//! Network-on-chip topology and message latency.
+//!
+//! Each socket is a `mesh_w × mesh_h` 2D mesh of tiles; tile *i* hosts core
+//! *i* (of that socket) and one LLC slice. Messages route XY with
+//! `hop_cycles` per hop plus serialization over `link_bytes`-wide links
+//! (Table 2: 3 cycles/hop, 16 B links). Crossing sockets adds the
+//! `inter_socket_ns` one-way latency of §5 (260 ns, AMD Zen5 Turin).
+//!
+//! Cache lines are interleaved across all LLC slices of the machine by line
+//! address, which is what spreads the VTD (co-located with the directory in
+//! each slice) across the chip.
+
+use jord_sim::SimDuration;
+
+use crate::config::MachineConfig;
+use crate::types::{CoreId, LineAddr};
+
+/// A tile endpoint in the NoC: either a core's L1 or an LLC slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The L1/core at this global core index.
+    Core(CoreId),
+    /// The LLC slice on the tile with this global tile index.
+    LlcSlice(usize),
+}
+
+/// The NoC latency model.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    cfg: MachineConfig,
+}
+
+impl Noc {
+    /// Builds the NoC for a validated machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.validate()` fails.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        Noc { cfg }
+    }
+
+    /// The machine configuration this NoC was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Total number of tiles (== LLC slices) across all sockets.
+    pub fn total_tiles(&self) -> usize {
+        self.cfg.tiles_per_socket() * self.cfg.sockets
+    }
+
+    /// The home LLC slice (global tile index) of a cache line: lines are
+    /// address-interleaved across every slice in the machine.
+    pub fn home_slice(&self, line: LineAddr) -> usize {
+        (line.0 % self.total_tiles() as u64) as usize
+    }
+
+    fn endpoint_tile(&self, ep: Endpoint) -> usize {
+        match ep {
+            Endpoint::Core(c) => {
+                assert!(c.0 < self.cfg.cores, "core {} out of range", c.0);
+                c.0
+            }
+            Endpoint::LlcSlice(t) => {
+                assert!(t < self.total_tiles(), "tile {t} out of range");
+                t
+            }
+        }
+    }
+
+    /// Socket index of a global tile.
+    pub fn socket_of_tile(&self, tile: usize) -> usize {
+        tile / self.cfg.tiles_per_socket()
+    }
+
+    /// Socket index of a core.
+    pub fn socket_of_core(&self, core: CoreId) -> usize {
+        self.socket_of_tile(core.0)
+    }
+
+    /// Manhattan hop count between two tiles of the *same* socket.
+    fn hops_within_socket(&self, a: usize, b: usize) -> u64 {
+        let (ax, ay) = (a % self.cfg.mesh_w, a / self.cfg.mesh_w);
+        let (bx, by) = (b % self.cfg.mesh_w, b / self.cfg.mesh_w);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// One-way message latency carrying `payload_bytes` of data (control
+    /// headers ride for free in the first flit).
+    pub fn message(&self, from: Endpoint, to: Endpoint, payload_bytes: u64) -> SimDuration {
+        let a = self.endpoint_tile(from);
+        let b = self.endpoint_tile(to);
+        let (sa, sb) = (self.socket_of_tile(a), self.socket_of_tile(b));
+        let local_a = a % self.cfg.tiles_per_socket();
+        let local_b = b % self.cfg.tiles_per_socket();
+
+        let ser_cycles = payload_bytes.div_ceil(self.cfg.link_bytes.max(1));
+        let mut total = SimDuration::ZERO;
+        if sa == sb {
+            let hops = self.hops_within_socket(local_a, local_b);
+            total += SimDuration::from_cycles(
+                hops * self.cfg.hop_cycles + ser_cycles,
+                self.cfg.freq_ghz,
+            );
+        } else {
+            // Route to the socket edge, cross the inter-socket link, route on.
+            // Edge tile: local tile 0 (the I/O corner) on each socket.
+            let hops = self.hops_within_socket(local_a, 0) + self.hops_within_socket(0, local_b);
+            total += SimDuration::from_cycles(
+                hops * self.cfg.hop_cycles + ser_cycles,
+                self.cfg.freq_ghz,
+            );
+            total += SimDuration::from_ns_f64(self.cfg.inter_socket_ns);
+        }
+        total
+    }
+
+    /// Round-trip latency: request (control) out, response with
+    /// `payload_bytes` back.
+    pub fn round_trip(&self, from: Endpoint, to: Endpoint, payload_bytes: u64) -> SimDuration {
+        self.message(from, to, 0) + self.message(to, from, payload_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc() -> Noc {
+        Noc::new(MachineConfig::isca25())
+    }
+
+    #[test]
+    fn zero_hop_message_costs_only_serialization() {
+        let n = noc();
+        // Core 0 to LLC slice 0 share tile 0.
+        let d = n.message(Endpoint::Core(CoreId(0)), Endpoint::LlcSlice(0), 0);
+        assert_eq!(d, SimDuration::ZERO);
+        let d64 = n.message(Endpoint::Core(CoreId(0)), Endpoint::LlcSlice(0), 64);
+        // 64B over 16B links = 4 cycles = 1 ns at 4 GHz.
+        assert_eq!(d64, SimDuration::from_ns(1));
+    }
+
+    #[test]
+    fn hop_latency_matches_table2() {
+        let n = noc();
+        // Tiles 0 (0,0) and 1 (1,0): one hop = 3 cycles = 0.75 ns.
+        let d = n.message(Endpoint::Core(CoreId(0)), Endpoint::Core(CoreId(1)), 0);
+        assert_eq!(d, SimDuration::from_ps(750));
+        // Tile 0 to tile 31 (7,3): 7+3 = 10 hops = 30 cycles = 7.5 ns.
+        let far = n.message(Endpoint::Core(CoreId(0)), Endpoint::Core(CoreId(31)), 0);
+        assert_eq!(far, SimDuration::from_ps(7500));
+    }
+
+    #[test]
+    fn latency_is_symmetric_within_socket() {
+        let n = noc();
+        for (a, b) in [(0, 31), (5, 17), (12, 12)] {
+            let ab = n.message(Endpoint::Core(CoreId(a)), Endpoint::Core(CoreId(b)), 64);
+            let ba = n.message(Endpoint::Core(CoreId(b)), Endpoint::Core(CoreId(a)), 64);
+            assert_eq!(ab, ba);
+        }
+    }
+
+    #[test]
+    fn home_slice_interleaves_all_slices() {
+        let n = noc();
+        let mut seen = vec![false; n.total_tiles()];
+        for l in 0..1000u64 {
+            seen[n.home_slice(LineAddr(l))] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cross_socket_adds_link_latency() {
+        let n = Noc::new(MachineConfig::two_socket());
+        let same = n.message(Endpoint::Core(CoreId(0)), Endpoint::Core(CoreId(127)), 0);
+        let cross = n.message(Endpoint::Core(CoreId(0)), Endpoint::Core(CoreId(128)), 0);
+        assert!(cross.as_ns_f64() >= 260.0);
+        assert!(cross > same);
+        assert_eq!(n.socket_of_core(CoreId(128)), 1);
+        assert_eq!(n.socket_of_core(CoreId(127)), 0);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_ways() {
+        let n = noc();
+        let rt = n.round_trip(Endpoint::Core(CoreId(0)), Endpoint::LlcSlice(9), 64);
+        let there = n.message(Endpoint::Core(CoreId(0)), Endpoint::LlcSlice(9), 0);
+        let back = n.message(Endpoint::LlcSlice(9), Endpoint::Core(CoreId(0)), 64);
+        assert_eq!(rt, there + back);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_core_panics() {
+        let n = noc();
+        let _ = n.message(Endpoint::Core(CoreId(99)), Endpoint::LlcSlice(0), 0);
+    }
+}

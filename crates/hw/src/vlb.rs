@@ -1,0 +1,248 @@
+//! Virtual lookaside buffers (VLBs).
+//!
+//! Jord adds instruction and data VLBs next to the traditional TLBs
+//! (Figure 5): small, fully associative, range-based translation caches for
+//! the VMAs managed by PrivLib. A lookup matches when the faulting VA falls
+//! inside a cached VMA's `[base, base+len)` range *and* the entry was filled
+//! for the currently executing PD (or the VMA is global). Entries are tagged
+//! with their backing VTE address so T-bit coherence invalidations (§4.2)
+//! can find them.
+//!
+//! Table 2 sizes both VLBs at 16 entries; Figure 12 sweeps 1/2/4/16.
+
+use crate::types::{PdId, Va, VlbEntry, VteAddr};
+
+/// Which VLB of a core (instruction fetch vs data access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VlbKind {
+    /// Instruction VLB.
+    Instr,
+    /// Data VLB.
+    Data,
+}
+
+/// Hit/miss counters for one VLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VlbStats {
+    /// Lookups that matched a cached entry.
+    pub hits: u64,
+    /// Lookups that required a VTW walk.
+    pub misses: u64,
+    /// Entries invalidated by shootdowns.
+    pub shootdowns: u64,
+}
+
+/// A fully associative, LRU-replaced, range-based translation cache.
+///
+/// # Example
+///
+/// ```
+/// use jord_hw::{Vlb, VlbEntry, VteAddr, PdId, Perm};
+///
+/// let mut vlb = Vlb::new(2);
+/// vlb.fill(VlbEntry {
+///     vte: VteAddr(0x40),
+///     base: 0x1000,
+///     len: 0x100,
+///     pd: PdId(1),
+///     global: false,
+///     perm: Perm::RW,
+///     privileged: false,
+/// });
+/// assert!(vlb.lookup(0x1080, PdId(1)).is_some());
+/// assert!(vlb.lookup(0x1080, PdId(2)).is_none()); // wrong PD
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vlb {
+    capacity: usize,
+    /// Most recently used last.
+    entries: Vec<VlbEntry>,
+    stats: VlbStats,
+}
+
+impl Vlb {
+    /// Creates an empty VLB with the given entry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "VLB needs at least one entry");
+        Vlb {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            stats: VlbStats::default(),
+        }
+    }
+
+    /// Entry count limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no translations are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> VlbStats {
+        self.stats
+    }
+
+    /// Looks up the translation covering `va` in domain `pd`, refreshing its
+    /// LRU position on a hit.
+    pub fn lookup(&mut self, va: Va, pd: PdId) -> Option<VlbEntry> {
+        let pos = self.entries.iter().position(|e| e.covers(va, pd));
+        match pos {
+            Some(i) => {
+                self.stats.hits += 1;
+                let e = self.entries.remove(i);
+                self.entries.push(e);
+                Some(e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation (after a VTW walk), evicting the LRU entry if
+    /// full. A refill for an already-cached VTE+PD replaces in place.
+    pub fn fill(&mut self, entry: VlbEntry) {
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.vte == entry.vte && e.pd == entry.pd)
+        {
+            self.entries.remove(i);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0); // LRU is at the front
+        }
+        self.entries.push(entry);
+    }
+
+    /// Invalidates every entry backed by `vte` (T-bit shootdown match).
+    /// Returns the number of entries dropped.
+    pub fn invalidate_vte(&mut self, vte: VteAddr) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.vte != vte);
+        let dropped = before - self.entries.len();
+        self.stats.shootdowns += dropped as u64;
+        dropped
+    }
+
+    /// Drops every cached translation (e.g. on context switch of the host
+    /// process; not used on PD switches, which are tag-matched instead).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// True if any cached entry is backed by `vte`.
+    pub fn caches_vte(&self, vte: VteAddr) -> bool {
+        self.entries.iter().any(|e| e.vte == vte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Perm;
+
+    fn entry(vte: u64, base: Va, len: u64, pd: u16) -> VlbEntry {
+        VlbEntry {
+            vte: VteAddr(vte),
+            base,
+            len,
+            pd: PdId(pd),
+            global: false,
+            perm: Perm::RW,
+            privileged: false,
+        }
+    }
+
+    #[test]
+    fn hit_requires_range_and_pd_match() {
+        let mut v = Vlb::new(4);
+        v.fill(entry(1, 0x1000, 0x100, 7));
+        assert!(v.lookup(0x10FF, PdId(7)).is_some());
+        assert!(v.lookup(0x1100, PdId(7)).is_none());
+        assert!(v.lookup(0x1000, PdId(8)).is_none());
+        assert_eq!(v.stats().hits, 1);
+        assert_eq!(v.stats().misses, 2);
+    }
+
+    #[test]
+    fn global_entries_match_any_pd() {
+        let mut v = Vlb::new(4);
+        let mut e = entry(2, 0x2000, 0x40, 0);
+        e.global = true;
+        v.fill(e);
+        assert!(v.lookup(0x2000, PdId(99)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut v = Vlb::new(2);
+        v.fill(entry(1, 0x1000, 0x100, 1));
+        v.fill(entry(2, 0x2000, 0x100, 1));
+        // Touch entry 1 so entry 2 becomes LRU.
+        assert!(v.lookup(0x1000, PdId(1)).is_some());
+        v.fill(entry(3, 0x3000, 0x100, 1));
+        assert!(v.lookup(0x1000, PdId(1)).is_some(), "recently used survives");
+        assert!(v.lookup(0x2000, PdId(1)).is_none(), "LRU was evicted");
+        assert!(v.lookup(0x3000, PdId(1)).is_some());
+    }
+
+    #[test]
+    fn refill_same_vte_does_not_duplicate() {
+        let mut v = Vlb::new(2);
+        v.fill(entry(1, 0x1000, 0x100, 1));
+        let mut updated = entry(1, 0x1000, 0x100, 1);
+        updated.perm = Perm::READ;
+        v.fill(updated);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.lookup(0x1000, PdId(1)).unwrap().perm, Perm::READ);
+    }
+
+    #[test]
+    fn invalidate_by_vte_tag() {
+        let mut v = Vlb::new(4);
+        v.fill(entry(1, 0x1000, 0x100, 1));
+        v.fill(entry(1, 0x1000, 0x100, 2)); // same VMA resolved for another PD
+        v.fill(entry(2, 0x2000, 0x100, 1));
+        assert_eq!(v.invalidate_vte(VteAddr(1)), 2);
+        assert!(!v.caches_vte(VteAddr(1)));
+        assert!(v.caches_vte(VteAddr(2)));
+        assert_eq!(v.stats().shootdowns, 2);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut v = Vlb::new(4);
+        v.fill(entry(1, 0x1000, 0x100, 1));
+        v.flush();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn single_entry_vlb_thrashes() {
+        let mut v = Vlb::new(1);
+        v.fill(entry(1, 0x1000, 0x100, 1));
+        v.fill(entry(2, 0x2000, 0x100, 1));
+        assert!(v.lookup(0x1000, PdId(1)).is_none());
+        assert!(v.lookup(0x2000, PdId(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Vlb::new(0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The virtual translation directory (VTD).
+//!
+//! §4.2: the VTD is a set-associative structure co-located with the
+//! coherence directory in each LLC slice. It tracks which cores' VLBs cache
+//! each translation, keyed by the VTE address (translations ↔ VTEs are 1:1
+//! in the plain-list design). VTE reads with the T bit register the reader;
+//! VTE writes read out the sharer list and trigger parallel VLB
+//! invalidations.
+//!
+//! Because the VTD, VLBs, and caches evict independently, a translation can
+//! be live in a VLB while its VTD entry has been evicted. The paper's fix is
+//! pessimistic: on a miss, the *coherence directory's* sharer list for the
+//! VTE's cache line stands in for the translation sharers (the directory
+//! acts as a victim cache for the VTD). We implement exactly that fallback.
+
+use crate::types::{CoreId, CoreSet, VteAddr};
+
+/// Counters for VTD behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VtdStats {
+    /// Sharer registrations (VTE reads with the T bit).
+    pub registrations: u64,
+    /// Shootdowns served from an exact VTD entry.
+    pub exact_shootdowns: u64,
+    /// Shootdowns that fell back to the coherence directory's sharer list.
+    pub fallback_shootdowns: u64,
+    /// VTD entries evicted for capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct VtdEntry {
+    tag: VteAddr,
+    sharers: CoreSet,
+    /// Per-set LRU stamp.
+    stamp: u64,
+}
+
+/// A set-associative sharer-tracking directory for translations.
+///
+/// One logical VTD spans all LLC slices (each slice holds the sets its
+/// address-interleaved VTEs map to); modelling it as a single structure is
+/// exact because sets never interact.
+#[derive(Debug)]
+pub struct Vtd {
+    sets: Vec<Vec<VtdEntry>>,
+    ways: usize,
+    tick: u64,
+    stats: VtdStats,
+}
+
+impl Vtd {
+    /// Creates a VTD with `sets × ways` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "VTD geometry must be non-zero");
+        Vtd {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            stats: VtdStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> VtdStats {
+        self.stats
+    }
+
+    fn set_index(&self, vte: VteAddr) -> usize {
+        // VTEs are cache-line sized; index by line address.
+        ((vte.0 / 64) % self.sets.len() as u64) as usize
+    }
+
+    /// Registers `core` as a sharer of `vte` (a T-bit VTE read reached the
+    /// LLC). Allocates an entry, evicting LRU within the set if needed.
+    pub fn register(&mut self, vte: VteAddr, core: CoreId) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_index(vte);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.tag == vte) {
+            e.sharers.insert(core);
+            e.stamp = tick;
+        } else {
+            if set.len() == ways {
+                let lru = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(i, _)| i)
+                    .expect("full set has entries");
+                set.remove(lru);
+                self.stats.evictions += 1;
+            }
+            set.push(VtdEntry {
+                tag: vte,
+                sharers: CoreSet::singleton(core),
+                stamp: tick,
+            });
+        }
+        self.stats.registrations += 1;
+    }
+
+    /// A T-bit VTE **write** arrived: returns the cores whose VLBs must be
+    /// invalidated and removes the tracking entry. If the VTD no longer
+    /// tracks the translation, `directory_sharers` (the coherence
+    /// directory's sharer list for the VTE's line) is used pessimistically.
+    ///
+    /// The writer core itself is excluded — its VLB is updated locally.
+    pub fn shootdown(
+        &mut self,
+        vte: VteAddr,
+        writer: CoreId,
+        directory_sharers: CoreSet,
+    ) -> CoreSet {
+        let set_idx = self.set_index(vte);
+        let set = &mut self.sets[set_idx];
+        let mut sharers = if let Some(i) = set.iter().position(|e| e.tag == vte) {
+            self.stats.exact_shootdowns += 1;
+            set.remove(i).sharers
+        } else {
+            self.stats.fallback_shootdowns += 1;
+            directory_sharers
+        };
+        sharers.remove(writer);
+        sharers
+    }
+
+    /// True if the VTD currently tracks `vte` (test/introspection hook).
+    pub fn tracks(&self, vte: VteAddr) -> bool {
+        self.sets[self.set_index(vte)].iter().any(|e| e.tag == vte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_then_shootdown_returns_sharers() {
+        let mut vtd = Vtd::new(16, 4);
+        let vte = VteAddr(0x100);
+        vtd.register(vte, CoreId(1));
+        vtd.register(vte, CoreId(2));
+        vtd.register(vte, CoreId(3));
+        let victims = vtd.shootdown(vte, CoreId(3), CoreSet::empty());
+        let v: Vec<usize> = victims.iter().map(|c| c.0).collect();
+        assert_eq!(v, vec![1, 2], "writer excluded, others invalidated");
+        assert!(!vtd.tracks(vte), "shootdown removes the entry");
+    }
+
+    #[test]
+    fn shootdown_of_untracked_uses_directory_fallback() {
+        let mut vtd = Vtd::new(16, 4);
+        let vte = VteAddr(0x200);
+        let dir: CoreSet = [CoreId(5), CoreId(9)].into_iter().collect();
+        let victims = vtd.shootdown(vte, CoreId(5), dir);
+        assert_eq!(victims, CoreSet::singleton(CoreId(9)));
+        assert_eq!(vtd.stats().fallback_shootdowns, 1);
+        assert_eq!(vtd.stats().exact_shootdowns, 0);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru_within_set() {
+        // 1 set × 2 ways: third distinct tag evicts the LRU.
+        let mut vtd = Vtd::new(1, 2);
+        let (a, b, c) = (VteAddr(0), VteAddr(64), VteAddr(128));
+        vtd.register(a, CoreId(1));
+        vtd.register(b, CoreId(2));
+        vtd.register(a, CoreId(3)); // touch a; b becomes LRU
+        vtd.register(c, CoreId(4));
+        assert!(vtd.tracks(a));
+        assert!(!vtd.tracks(b), "LRU evicted");
+        assert!(vtd.tracks(c));
+        assert_eq!(vtd.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evicted_translation_still_shot_down_via_fallback() {
+        let mut vtd = Vtd::new(1, 1);
+        let (a, b) = (VteAddr(0), VteAddr(64));
+        vtd.register(a, CoreId(1));
+        vtd.register(b, CoreId(2)); // evicts a
+        // Coherence directory still says core 1 caches a's line.
+        let victims = vtd.shootdown(a, CoreId(0), CoreSet::singleton(CoreId(1)));
+        assert_eq!(victims, CoreSet::singleton(CoreId(1)));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut vtd = Vtd::new(2, 1);
+        let (a, b) = (VteAddr(0), VteAddr(64)); // different sets
+        vtd.register(a, CoreId(1));
+        vtd.register(b, CoreId(2));
+        assert!(vtd.tracks(a) && vtd.tracks(b));
+        assert_eq!(vtd.stats().evictions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_panics() {
+        let _ = Vtd::new(0, 4);
+    }
+}

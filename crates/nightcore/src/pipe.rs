@@ -1,0 +1,118 @@
+//! The OS pipe cost model.
+//!
+//! An enhanced-NightCore message (dispatch, nested invocation, completion)
+//! crosses one pipe: the sender pays a `write(2)` system call plus the data
+//! copy into the kernel buffer; the receiver pays a `read(2)` system call,
+//! the copy out, and — when it was blocked — a futex/scheduler wakeup.
+//! Jord's whole point is that these per-message microseconds dwarf its
+//! nanosecond-scale VTE operations (§2.1: communication accounts for up to
+//! 70 % of function execution time in pipe/queue-based systems).
+
+use jord_sim::SimDuration;
+
+/// Cost constants for one-way pipe messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeModel {
+    /// One system call (entry + exit + kernel pipe work), ns.
+    pub syscall_ns: f64,
+    /// Waking a blocked receiver thread (futex + scheduler + cache warmup),
+    /// ns.
+    pub wakeup_ns: f64,
+    /// Copy bandwidth through the kernel buffer, bytes per ns (both the
+    /// copy-in and the copy-out pay it).
+    pub copy_bytes_per_ns: f64,
+    /// Serialization/deserialization work per message byte, ns
+    /// (NightCore's message framing; cheap but nonzero).
+    pub serdes_ns_per_byte: f64,
+}
+
+impl PipeModel {
+    /// Calibrated against published pipe/futex microbenchmarks on a
+    /// current Linux kernel: ~400 ns per syscall, ~1.6 µs wakeup,
+    /// ~10 GB/s single-threaded copy.
+    pub fn linux_default() -> Self {
+        PipeModel {
+            syscall_ns: 400.0,
+            wakeup_ns: 1600.0,
+            copy_bytes_per_ns: 10.0,
+            serdes_ns_per_byte: 0.05,
+        }
+    }
+
+    /// Cost of one one-way message of `bytes`, receiver blocked.
+    pub fn message(&self, bytes: u64) -> SimDuration {
+        self.message_with_wakeup(bytes, true)
+    }
+
+    /// Cost of one one-way message, with or without a receiver wakeup
+    /// (a spinning receiver skips the futex path).
+    pub fn message_with_wakeup(&self, bytes: u64, wakeup: bool) -> SimDuration {
+        self.send(bytes, wakeup) + self.recv(bytes)
+    }
+
+    /// Sender-side cost: `write(2)`, copy-in, serialization, and — when the
+    /// receiver is blocked — the futex wakeup (paid by the waker).
+    pub fn send(&self, bytes: u64, wakeup: bool) -> SimDuration {
+        let b = bytes as f64;
+        let ns = self.syscall_ns
+            + b / self.copy_bytes_per_ns
+            + b * self.serdes_ns_per_byte
+            + if wakeup { self.wakeup_ns } else { 0.0 };
+        SimDuration::from_ns_f64(ns)
+    }
+
+    /// Receiver-side cost: `read(2)`, copy-out, deserialization.
+    pub fn recv(&self, bytes: u64) -> SimDuration {
+        let b = bytes as f64;
+        let ns = self.syscall_ns + b / self.copy_bytes_per_ns + b * self.serdes_ns_per_byte;
+        SimDuration::from_ns_f64(ns)
+    }
+}
+
+impl Default for PipeModel {
+    fn default() -> Self {
+        PipeModel::linux_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_message_costs_two_syscalls_and_a_wakeup() {
+        let p = PipeModel::linux_default();
+        let d = p.message(0).as_ns_f64();
+        assert!((d - 2400.0).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn copies_scale_with_size() {
+        let p = PipeModel::linux_default();
+        let small = p.message(64).as_ns_f64();
+        let big = p.message(64 * 1024).as_ns_f64();
+        // 64 KiB: 2×6.55 µs copy + 2×3.3 µs serdes + base.
+        assert!(big > small + 10_000.0, "small {small} big {big}");
+    }
+
+    #[test]
+    fn spinning_receiver_skips_wakeup() {
+        let p = PipeModel::linux_default();
+        let blocked = p.message(128);
+        let spinning = p.message_with_wakeup(128, false);
+        assert_eq!(
+            (blocked - spinning).as_ns_f64(),
+            p.wakeup_ns,
+            "difference must be exactly the wakeup"
+        );
+    }
+
+    #[test]
+    fn microsecond_scale_matches_nightcore_reports() {
+        // NightCore's internal function call: request + response pipes on a
+        // ~KB payload land in the 4–6 µs range.
+        let p = PipeModel::linux_default();
+        let rt = (p.message(1024) + p.message(1024)).as_us_f64();
+        assert!((3.0..8.0).contains(&rt), "round trip {rt} µs");
+    }
+}

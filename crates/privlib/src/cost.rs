@@ -1,0 +1,94 @@
+//! Instruction-work cost constants for PrivLib operations.
+//!
+//! The hardware model charges memory traffic (VTE accesses, free-list
+//! atomics, shootdowns) from first principles; what remains is the plain
+//! instruction execution of each PrivLib routine — size-class arithmetic,
+//! policy checks, register save/restore. Those constants are calibrated
+//! once so that the *simulator* column of Table 4 is reproduced on the
+//! Table 2 machine with warm caches; the FPGA column then follows from the
+//! config's `ipc_factor` alone (the Table 4 footnote: identical SRAM/raw
+//! latencies, lower IPC on instruction execution).
+//!
+//! Instruction work scales with `ipc_factor`; hardware FSM work (the VTW)
+//! and memory latencies do not.
+
+/// Nanoseconds of instruction work per PrivLib routine (at IPC factor 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// VTW finite-state-machine overhead per walk (hardware; never scaled
+    /// by `ipc_factor`). Table 4: lookup = 2 ns with the VTE in L1D.
+    pub vtw_fsm_ns: f64,
+    /// `mmap`: size-class selection, free-list bookkeeping, VTE setup.
+    pub mmap_ns: f64,
+    /// `munmap`: unlink, sharer teardown, free-list return.
+    pub munmap_ns: f64,
+    /// `mprotect` / permission update.
+    pub mprotect_ns: f64,
+    /// `pmove`/`pcopy` permission transfer.
+    pub ptransfer_ns: f64,
+    /// `cget` PD creation.
+    pub cget_ns: f64,
+    /// `cput` PD destruction.
+    pub cput_ns: f64,
+    /// `ccall`/`center`/`cexit` context switch (register file save/restore
+    /// plus the `ucid` update).
+    pub cswitch_ns: f64,
+    /// Mandatory security policy checks at every gated entry (§3.2).
+    pub policy_check_ns: f64,
+    /// Front-end restart after an I-VLB miss: the fetch stage stalls for
+    /// the walk and the pipeline refills behind it.
+    pub ifetch_restart_ns: f64,
+    /// The `uat_config` syscall round trip (OS refill path, §4.4).
+    pub uat_config_syscall_ns: f64,
+}
+
+impl CostModel {
+    /// The calibrated model (see module docs and the
+    /// `table4_op_latency` bench that verifies it).
+    pub fn calibrated() -> Self {
+        CostModel {
+            vtw_fsm_ns: 1.5,
+            mmap_ns: 12.5,
+            munmap_ns: 23.0,
+            mprotect_ns: 13.0,
+            ptransfer_ns: 13.0,
+            cget_ns: 8.5,
+            cput_ns: 12.0,
+            cswitch_ns: 10.0,
+            policy_check_ns: 1.0,
+            ifetch_restart_ns: 3.0,
+            uat_config_syscall_ns: 1200.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_values_are_nanosecond_scale() {
+        let c = CostModel::calibrated();
+        for v in [
+            c.vtw_fsm_ns,
+            c.mmap_ns,
+            c.munmap_ns,
+            c.mprotect_ns,
+            c.ptransfer_ns,
+            c.cget_ns,
+            c.cput_ns,
+            c.cswitch_ns,
+            c.policy_check_ns,
+            c.ifetch_restart_ns,
+        ] {
+            assert!(v > 0.0 && v < 50.0, "PrivLib op work must be ns-scale, got {v}");
+        }
+        assert!(c.uat_config_syscall_ns > 500.0, "syscalls are µs-scale");
+    }
+}

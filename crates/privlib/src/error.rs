@@ -1,0 +1,115 @@
+//! PrivLib error type.
+
+use core::fmt;
+
+use jord_hw::types::{PdId, Va};
+use jord_hw::Fault;
+
+/// Errors returned by PrivLib APIs.
+///
+/// [`PrivError::Fault`] wraps a hardware fault (the isolation mechanism
+/// fired); the other variants are resource-exhaustion or argument errors
+/// detected by PrivLib's mandatory policy checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrivError {
+    /// The hardware raised a fault (isolation violation, missing gate, …).
+    Fault(Fault),
+    /// No free VMA of the requested size class (and the plain list cannot
+    /// be grown at runtime).
+    OutOfVmas {
+        /// Requested allocation length.
+        len: u64,
+    },
+    /// The PD free list is exhausted.
+    OutOfPds,
+    /// The OS-reserved physical region is exhausted.
+    OutOfMemory,
+    /// The VA does not name a live Jord VMA.
+    BadAddress {
+        /// The offending address.
+        va: Va,
+    },
+    /// The requested length is invalid (zero, or above 4 GiB).
+    BadLength {
+        /// The offending length.
+        len: u64,
+    },
+    /// The named PD is not live.
+    BadPd {
+        /// The offending PD id.
+        pd: PdId,
+    },
+    /// The calling PD holds no permission to transfer.
+    NotOwner {
+        /// The VMA in question.
+        va: Va,
+        /// The PD that attempted the transfer.
+        pd: PdId,
+    },
+}
+
+impl fmt::Display for PrivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivError::Fault(fault) => write!(f, "{fault}"),
+            PrivError::OutOfVmas { len } => {
+                write!(f, "no free vma for allocation of {len} bytes")
+            }
+            PrivError::OutOfPds => write!(f, "protection domain free list exhausted"),
+            PrivError::OutOfMemory => write!(f, "reserved physical memory exhausted"),
+            PrivError::BadAddress { va } => write!(f, "no live vma at {va:#x}"),
+            PrivError::BadLength { len } => write!(f, "invalid vma length {len}"),
+            PrivError::BadPd { pd } => write!(f, "{pd} is not live"),
+            PrivError::NotOwner { va, pd } => {
+                write!(f, "{pd} holds no permission on vma {va:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrivError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrivError::Fault(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+impl From<Fault> for PrivError {
+    fn from(fault: Fault) -> Self {
+        PrivError::Fault(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        let errs: Vec<PrivError> = vec![
+            Fault::Unmapped { va: 0x10 }.into(),
+            PrivError::OutOfVmas { len: 64 },
+            PrivError::OutOfPds,
+            PrivError::OutOfMemory,
+            PrivError::BadAddress { va: 0x99 },
+            PrivError::BadLength { len: 0 },
+            PrivError::BadPd { pd: PdId(7) },
+            PrivError::NotOwner { va: 0x1, pd: PdId(2) },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn fault_source_is_chained() {
+        use std::error::Error;
+        let e: PrivError = Fault::Unmapped { va: 0 }.into();
+        assert!(e.source().is_some());
+        assert!(PrivError::OutOfPds.source().is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! PrivLib operation accounting.
+//!
+//! The Figure 11/13 analyses need to know where PrivLib time goes: how much
+//! of each request's service time is memory-isolation overhead, and how
+//! much longer VMA management takes under the B-tree table (+167 % in the
+//! paper). Every API records its (kind, duration) here.
+
+use jord_sim::SimDuration;
+
+/// Classification of PrivLib operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `mmap` — VMA allocation.
+    Mmap,
+    /// `munmap` — VMA deallocation.
+    Munmap,
+    /// `mprotect` — permission/length update.
+    Mprotect,
+    /// `pmove`/`pcopy` — permission transfer.
+    Ptransfer,
+    /// `cget` — PD creation.
+    Cget,
+    /// `cput` — PD destruction.
+    Cput,
+    /// `ccall`/`center`/`cexit` — PD context switches.
+    Cswitch,
+    /// VTW walks triggered by VLB misses.
+    Walk,
+}
+
+impl OpKind {
+    /// All op kinds, for iteration in reports.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Mmap,
+        OpKind::Munmap,
+        OpKind::Mprotect,
+        OpKind::Ptransfer,
+        OpKind::Cget,
+        OpKind::Cput,
+        OpKind::Cswitch,
+        OpKind::Walk,
+    ];
+
+    /// True for the VMA-management family (the Figure 13 "+167 %" metric).
+    pub const fn is_vma_management(self) -> bool {
+        matches!(
+            self,
+            OpKind::Mmap | OpKind::Munmap | OpKind::Mprotect | OpKind::Ptransfer | OpKind::Walk
+        )
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::Mmap => 0,
+            OpKind::Munmap => 1,
+            OpKind::Mprotect => 2,
+            OpKind::Ptransfer => 3,
+            OpKind::Cget => 4,
+            OpKind::Cput => 5,
+            OpKind::Cswitch => 6,
+            OpKind::Walk => 7,
+        }
+    }
+}
+
+/// Per-kind counts and accumulated simulated time.
+#[derive(Debug, Clone, Default)]
+pub struct PrivLibStats {
+    counts: [u64; 8],
+    time: [SimDuration; 8],
+}
+
+impl PrivLibStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        PrivLibStats::default()
+    }
+
+    /// Records one completed operation.
+    pub fn record(&mut self, kind: OpKind, took: SimDuration) {
+        self.counts[kind.index()] += 1;
+        self.time[kind.index()] += took;
+    }
+
+    /// Number of operations of `kind`.
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Accumulated time in `kind`.
+    pub fn time(&self, kind: OpKind) -> SimDuration {
+        self.time[kind.index()]
+    }
+
+    /// Mean latency of `kind` in nanoseconds, or `None` if never executed.
+    pub fn mean_ns(&self, kind: OpKind) -> Option<f64> {
+        let n = self.count(kind);
+        (n > 0).then(|| self.time(kind).as_ns_f64() / n as f64)
+    }
+
+    /// Total time spent in VMA management (Figure 13's PrivLib metric).
+    pub fn vma_management_time(&self) -> SimDuration {
+        OpKind::ALL
+            .iter()
+            .filter(|k| k.is_vma_management())
+            .map(|k| self.time(*k))
+            .sum()
+    }
+
+    /// Total time across all PrivLib operations.
+    pub fn total_time(&self) -> SimDuration {
+        self.time.iter().copied().sum()
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &PrivLibStats) {
+        for i in 0..8 {
+            self.counts[i] += other.counts[i];
+            self.time[i] += other.time[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_mean() {
+        let mut s = PrivLibStats::new();
+        s.record(OpKind::Mmap, SimDuration::from_ns(10));
+        s.record(OpKind::Mmap, SimDuration::from_ns(20));
+        assert_eq!(s.count(OpKind::Mmap), 2);
+        assert_eq!(s.mean_ns(OpKind::Mmap), Some(15.0));
+        assert_eq!(s.mean_ns(OpKind::Cget), None);
+    }
+
+    #[test]
+    fn vma_management_excludes_pd_ops() {
+        let mut s = PrivLibStats::new();
+        s.record(OpKind::Mmap, SimDuration::from_ns(10));
+        s.record(OpKind::Walk, SimDuration::from_ns(2));
+        s.record(OpKind::Cget, SimDuration::from_ns(100));
+        assert_eq!(s.vma_management_time(), SimDuration::from_ns(12));
+        assert_eq!(s.total_time(), SimDuration::from_ns(112));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PrivLibStats::new();
+        let mut b = PrivLibStats::new();
+        a.record(OpKind::Cswitch, SimDuration::from_ns(12));
+        b.record(OpKind::Cswitch, SimDuration::from_ns(14));
+        a.merge(&b);
+        assert_eq!(a.count(OpKind::Cswitch), 2);
+        assert_eq!(a.time(OpKind::Cswitch), SimDuration::from_ns(26));
+    }
+}

@@ -1,0 +1,137 @@
+//! Time distributions for workload modelling.
+//!
+//! The DeathStarBench/OnlineBoutique ports in `jord-workloads` describe each
+//! function's compute phases with a [`TimeDist`]; the executor samples it per
+//! invocation. Keeping the enum here (rather than closures) keeps workload
+//! definitions declarative, serializable-by-eye, and deterministic.
+
+use crate::rng::Rng;
+use crate::time::SimDuration;
+
+/// A distribution over durations, parameterized in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use jord_sim::{Rng, TimeDist};
+///
+/// let mut rng = Rng::new(1);
+/// let d = TimeDist::Fixed { ns: 100.0 };
+/// assert_eq!(d.sample(&mut rng).as_ns_f64(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeDist {
+    /// A constant duration.
+    Fixed {
+        /// Duration in nanoseconds.
+        ns: f64,
+    },
+    /// Uniform over `[lo_ns, hi_ns]`.
+    Uniform {
+        /// Lower bound (ns).
+        lo_ns: f64,
+        /// Upper bound (ns).
+        hi_ns: f64,
+    },
+    /// Exponential with the given mean; memoryless bursts.
+    Exponential {
+        /// Mean (ns).
+        mean_ns: f64,
+    },
+    /// Log-normal with the given median and log-space sigma; the default
+    /// shape for microservice compute phases (right-skewed, bounded tail).
+    LogNormal {
+        /// Median (ns).
+        median_ns: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+}
+
+impl TimeDist {
+    /// Convenience constructor for a fixed duration.
+    pub const fn fixed(ns: f64) -> Self {
+        TimeDist::Fixed { ns }
+    }
+
+    /// Convenience constructor for the common log-normal case.
+    pub const fn lognormal(median_ns: f64, sigma: f64) -> Self {
+        TimeDist::LogNormal { median_ns, sigma }
+    }
+
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut Rng) -> SimDuration {
+        let ns = match *self {
+            TimeDist::Fixed { ns } => ns,
+            TimeDist::Uniform { lo_ns, hi_ns } => lo_ns + (hi_ns - lo_ns) * rng.next_f64(),
+            TimeDist::Exponential { mean_ns } => rng.exponential(mean_ns),
+            TimeDist::LogNormal { median_ns, sigma } => rng.lognormal(median_ns, sigma),
+        };
+        SimDuration::from_ns_f64(ns)
+    }
+
+    /// The distribution mean in nanoseconds (exact, not sampled); used to
+    /// compute offered-load capacity estimates and SLO baselines.
+    pub fn mean_ns(&self) -> f64 {
+        match *self {
+            TimeDist::Fixed { ns } => ns,
+            TimeDist::Uniform { lo_ns, hi_ns } => 0.5 * (lo_ns + hi_ns),
+            TimeDist::Exponential { mean_ns } => mean_ns,
+            TimeDist::LogNormal { median_ns, sigma } => median_ns * (sigma * sigma / 2.0).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = Rng::new(2);
+        let d = TimeDist::fixed(42.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng).as_ns_f64(), 42.0);
+        }
+        assert_eq!(d.mean_ns(), 42.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = Rng::new(3);
+        let d = TimeDist::Uniform {
+            lo_ns: 10.0,
+            hi_ns: 20.0,
+        };
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng).as_ns_f64();
+            assert!((10.0..=20.0).contains(&x));
+        }
+        assert_eq!(d.mean_ns(), 15.0);
+    }
+
+    #[test]
+    fn exponential_sample_mean_matches() {
+        let mut rng = Rng::new(4);
+        let d = TimeDist::Exponential { mean_ns: 500.0 };
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng).as_ns_f64()).sum();
+        assert!((sum / n as f64 - 500.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        // E[X] = median * exp(sigma^2/2)
+        let d = TimeDist::lognormal(1000.0, 0.8);
+        let expected = 1000.0 * (0.32f64).exp();
+        assert!((d.mean_ns() - expected).abs() < 1e-9);
+        let mut rng = Rng::new(5);
+        let n = 300_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng).as_ns_f64()).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - expected).abs() / expected < 0.02,
+            "sample mean {sample_mean} vs {expected}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Segregated free lists of VMA slots (§4.4).
+//!
+//! "PrivLib manages all protected resources using free lists. During
+//! initialization it … prepares VMA free lists with free memory chunks
+//! partitioned from the reserved memory according to the size class
+//! configuration. Resource allocation and deallocation … are implemented
+//! through atomic pop and push operations on these free lists."
+//!
+//! Each entry is a VMA *index* within its size class; the index determines
+//! both the VA (via the codec) and the VTE slot, so a pop hands back a
+//! complete allocation in O(1).
+
+use crate::codec::VaCodec;
+use crate::size_class::{SizeClass, NUM_CLASSES};
+
+/// Per-size-class free lists of VMA indices.
+#[derive(Debug, Clone)]
+pub struct FreeLists {
+    lists: Vec<Vec<u32>>,
+    /// Head cache-line addresses, one per class, so callers can charge the
+    /// atomic pop/push at a realistic location.
+    head_addrs: Vec<u64>,
+}
+
+impl FreeLists {
+    /// Builds fully populated free lists for every class under `codec`,
+    /// with list heads laid out from `head_base` (one cache line each).
+    ///
+    /// Indices are handed out in ascending order (lowest index first), which
+    /// keeps the hot set of VTEs dense — the same locality a real allocator
+    /// gets from LIFO reuse.
+    pub fn new(codec: &VaCodec, head_base: u64) -> Self {
+        let lists = SizeClass::all()
+            .map(|sc| {
+                let cap = codec.capacity(sc);
+                // Reverse so pop() yields index 0 first.
+                (0..cap).rev().collect()
+            })
+            .collect();
+        FreeLists {
+            lists,
+            head_addrs: (0..NUM_CLASSES as u64)
+                .map(|i| head_base + i * 64)
+                .collect(),
+        }
+    }
+
+    /// The cache-line address of the class's list head (for charging the
+    /// atomic operation).
+    pub fn head_addr(&self, sc: SizeClass) -> u64 {
+        self.head_addrs[sc.index() as usize]
+    }
+
+    /// Pops a free VMA index of class `sc`, or `None` when exhausted.
+    pub fn pop(&mut self, sc: SizeClass) -> Option<u32> {
+        self.lists[sc.index() as usize].pop()
+    }
+
+    /// Returns a VMA index to its class's free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on double free.
+    pub fn push(&mut self, sc: SizeClass, index: u32) {
+        debug_assert!(
+            !self.lists[sc.index() as usize].contains(&index),
+            "double free of {sc} index {index}"
+        );
+        self.lists[sc.index() as usize].push(index);
+    }
+
+    /// Number of free indices in class `sc`.
+    pub fn available(&self, sc: SizeClass) -> usize {
+        self.lists[sc.index() as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lists() -> FreeLists {
+        FreeLists::new(&VaCodec::isca25(), 0x7000_0000)
+    }
+
+    #[test]
+    fn pop_hands_out_dense_indices() {
+        let mut f = lists();
+        let sc = SizeClass::MIN;
+        assert_eq!(f.pop(sc), Some(0));
+        assert_eq!(f.pop(sc), Some(1));
+        assert_eq!(f.pop(sc), Some(2));
+    }
+
+    #[test]
+    fn push_recycles_lifo() {
+        let mut f = lists();
+        let sc = SizeClass::MIN;
+        let a = f.pop(sc).unwrap();
+        let b = f.pop(sc).unwrap();
+        f.push(sc, a);
+        assert_eq!(f.pop(sc), Some(a), "LIFO reuse");
+        f.push(sc, b);
+        f.push(sc, a);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut f = lists();
+        let sc = SizeClass::MAX; // capped at 64 indices
+        for _ in 0..64 {
+            assert!(f.pop(sc).is_some());
+        }
+        assert_eq!(f.pop(sc), None);
+        assert_eq!(f.available(sc), 0);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut f = lists();
+        let a = SizeClass::MIN;
+        let b = SizeClass::from_index(5).unwrap();
+        let before = f.available(b);
+        f.pop(a);
+        assert_eq!(f.available(b), before);
+    }
+
+    #[test]
+    fn head_addrs_are_distinct_lines() {
+        let f = lists();
+        let mut addrs: Vec<u64> = SizeClass::all().map(|sc| f.head_addr(sc)).collect();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 26);
+        assert!(addrs.windows(2).all(|w| w[1] - w[0] >= 64));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let mut f = lists();
+        let sc = SizeClass::MIN;
+        let i = f.pop(sc).unwrap();
+        f.push(sc, i);
+        f.push(sc, i);
+    }
+}

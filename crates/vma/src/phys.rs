@@ -1,0 +1,127 @@
+//! The OS-reserved physical memory pool (§4.1/4.4).
+//!
+//! Jord asks the OS (via the `uat_config` syscall) for pinned physical
+//! chunks that back VMAs. Chunks can be non-contiguous and of various
+//! sizes; the only rule is that a VMA of size class *S* is backed by a
+//! contiguous chunk of at least *S* bytes. When the pool runs dry, PrivLib
+//! calls `uat_config` again to refill — the only OS involvement in steady
+//! state.
+
+use crate::size_class::SizeClass;
+
+/// A bump allocator over the OS-reserved physical region, refillable in
+/// chunks.
+#[derive(Debug, Clone)]
+pub struct PhysAllocator {
+    next: u64,
+    limit: u64,
+    region_end: u64,
+    refills: u64,
+    grant_bytes: u64,
+}
+
+impl PhysAllocator {
+    /// Creates a pool over physical region `[base, base+region_len)`, with
+    /// an initial OS grant of `grant_bytes` (further grants of the same
+    /// size are modelled by [`refill`](Self::refill)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grant_bytes` is zero or exceeds the region.
+    pub fn new(base: u64, region_len: u64, grant_bytes: u64) -> Self {
+        assert!(grant_bytes > 0 && grant_bytes <= region_len);
+        PhysAllocator {
+            next: base,
+            limit: base + grant_bytes,
+            region_end: base + region_len,
+            refills: 0,
+            grant_bytes,
+        }
+    }
+
+    /// Allocates a contiguous chunk for one VMA of class `sc`.
+    ///
+    /// Returns `Ok(phys_base)`; `Err(true)` means a refill (an OS call) is
+    /// required first; `Err(false)` means the whole reserved region is
+    /// exhausted.
+    pub fn alloc(&mut self, sc: SizeClass) -> Result<u64, bool> {
+        let need = sc.bytes();
+        if self.next + need <= self.limit {
+            let p = self.next;
+            self.next += need;
+            return Ok(p);
+        }
+        Err(self.limit + self.grant_bytes.min(need) <= self.region_end || self.next + need <= self.region_end)
+    }
+
+    /// Obtains another OS grant (PrivLib's `uat_config` refill path).
+    /// Returns `false` if the reserved region is exhausted.
+    pub fn refill(&mut self) -> bool {
+        if self.limit >= self.region_end {
+            return false;
+        }
+        self.limit = (self.limit + self.grant_bytes).min(self.region_end);
+        self.refills += 1;
+        true
+    }
+
+    /// Number of refills performed so far (each one is an OS round trip).
+    pub fn refills(&self) -> u64 {
+        self.refills
+    }
+
+    /// Bytes still available without a refill.
+    pub fn headroom(&self) -> u64 {
+        self.limit.saturating_sub(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_within_grant() {
+        let mut p = PhysAllocator::new(0x1_0000_0000, 1 << 30, 1 << 20);
+        let sc = SizeClass::for_len(4096).unwrap();
+        let a = p.alloc(sc).unwrap();
+        let b = p.alloc(sc).unwrap();
+        assert_eq!(b - a, 4096, "contiguous bump allocation");
+    }
+
+    #[test]
+    fn refill_extends_pool() {
+        let mut p = PhysAllocator::new(0, 1 << 20, 4096);
+        let sc = SizeClass::for_len(4096).unwrap();
+        p.alloc(sc).unwrap();
+        assert!(matches!(p.alloc(sc), Err(true)), "needs refill");
+        assert!(p.refill());
+        assert!(p.alloc(sc).is_ok());
+        assert_eq!(p.refills(), 1);
+    }
+
+    #[test]
+    fn region_exhaustion_is_terminal() {
+        let mut p = PhysAllocator::new(0, 8192, 4096);
+        let sc = SizeClass::for_len(4096).unwrap();
+        p.alloc(sc).unwrap();
+        assert!(p.refill());
+        p.alloc(sc).unwrap();
+        assert!(!p.refill(), "region fully granted");
+        assert!(matches!(p.alloc(sc), Err(false)), "nothing left to grant");
+    }
+
+    #[test]
+    fn headroom_reports_remaining_grant() {
+        let mut p = PhysAllocator::new(0, 1 << 20, 1 << 12);
+        assert_eq!(p.headroom(), 4096);
+        p.alloc(SizeClass::for_len(128).unwrap()).unwrap();
+        assert_eq!(p.headroom(), 4096 - 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_grant_panics() {
+        let _ = PhysAllocator::new(0, 100, 0);
+    }
+}

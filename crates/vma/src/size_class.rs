@@ -1,0 +1,157 @@
+//! The 26 VMA size classes (§4.1).
+//!
+//! "We choose the size classes as all the power-of-two values between 128
+//! bytes and 4 GB, as 99 % of the VMAs in our target workloads are smaller
+//! than 1 KB." Class *k* holds VMAs of up to `128 << k` bytes; each
+//! allocated VMA is backed by a contiguous chunk of at least its class size.
+
+use core::fmt;
+
+/// Smallest class size in bytes.
+pub const MIN_CLASS_BYTES: u64 = 128;
+/// Number of size classes: 128 B × 2²⁵ = 4 GiB.
+pub const NUM_CLASSES: u8 = 26;
+
+/// One of the 26 power-of-two size classes.
+///
+/// # Example
+///
+/// ```
+/// use jord_vma::SizeClass;
+///
+/// let sc = SizeClass::for_len(300).unwrap();
+/// assert_eq!(sc.bytes(), 512);
+/// assert_eq!(SizeClass::for_len(1).unwrap().bytes(), 128);
+/// assert!(SizeClass::for_len(5 << 30).is_none()); // > 4 GiB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SizeClass(u8);
+
+impl SizeClass {
+    /// The smallest class (128 B).
+    pub const MIN: SizeClass = SizeClass(0);
+    /// The largest class (4 GiB).
+    pub const MAX: SizeClass = SizeClass(NUM_CLASSES - 1);
+
+    /// Constructs from a raw class index.
+    ///
+    /// Returns `None` if `index >= 26`.
+    pub const fn from_index(index: u8) -> Option<SizeClass> {
+        if index < NUM_CLASSES {
+            Some(SizeClass(index))
+        } else {
+            None
+        }
+    }
+
+    /// The smallest class whose chunk size covers `len` bytes.
+    ///
+    /// Returns `None` for `len == 0` or `len > 4 GiB`.
+    pub const fn for_len(len: u64) -> Option<SizeClass> {
+        if len == 0 || len > MIN_CLASS_BYTES << (NUM_CLASSES - 1) {
+            return None;
+        }
+        if len <= MIN_CLASS_BYTES {
+            return Some(SizeClass(0));
+        }
+        // ceil(log2(len / 128))
+        let k = 64 - (len - 1).leading_zeros() as u8 - 7;
+        Some(SizeClass(k))
+    }
+
+    /// The raw class index (0 … 25).
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Chunk size of this class in bytes.
+    pub const fn bytes(self) -> u64 {
+        MIN_CLASS_BYTES << self.0
+    }
+
+    /// log2 of the chunk size; the number of offset bits the class needs in
+    /// the VA encoding of Figure 6.
+    pub const fn offset_bits(self) -> u32 {
+        7 + self.0 as u32
+    }
+
+    /// Iterates over all classes, smallest first.
+    pub fn all() -> impl Iterator<Item = SizeClass> {
+        (0..NUM_CLASSES).map(SizeClass)
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bytes();
+        if b < 1024 {
+            write!(f, "sc{}({}B)", self.0, b)
+        } else if b < 1024 * 1024 {
+            write!(f, "sc{}({}KiB)", self.0, b / 1024)
+        } else if b < 1024 * 1024 * 1024 {
+            write!(f, "sc{}({}MiB)", self.0, b / (1024 * 1024))
+        } else {
+            write!(f, "sc{}({}GiB)", self.0, b / (1024 * 1024 * 1024))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes_span_128b_to_4gib() {
+        assert_eq!(SizeClass::MIN.bytes(), 128);
+        assert_eq!(SizeClass::MAX.bytes(), 4 << 30);
+        assert_eq!(SizeClass::all().count(), 26);
+    }
+
+    #[test]
+    fn for_len_picks_smallest_covering_class() {
+        assert_eq!(SizeClass::for_len(1).unwrap().bytes(), 128);
+        assert_eq!(SizeClass::for_len(128).unwrap().bytes(), 128);
+        assert_eq!(SizeClass::for_len(129).unwrap().bytes(), 256);
+        assert_eq!(SizeClass::for_len(4096).unwrap().bytes(), 4096);
+        assert_eq!(SizeClass::for_len(4097).unwrap().bytes(), 8192);
+        assert_eq!(SizeClass::for_len(4 << 30).unwrap(), SizeClass::MAX);
+    }
+
+    #[test]
+    fn for_len_rejects_zero_and_oversize() {
+        assert!(SizeClass::for_len(0).is_none());
+        assert!(SizeClass::for_len((4u64 << 30) + 1).is_none());
+    }
+
+    #[test]
+    fn covering_invariant_holds_for_all_lengths() {
+        for len in (1..=(1u64 << 20)).step_by(4093) {
+            let sc = SizeClass::for_len(len).unwrap();
+            assert!(sc.bytes() >= len);
+            if sc.index() > 0 {
+                let smaller = SizeClass::from_index(sc.index() - 1).unwrap();
+                assert!(smaller.bytes() < len, "class not minimal for {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_bits_match_size() {
+        for sc in SizeClass::all() {
+            assert_eq!(1u64 << sc.offset_bits(), sc.bytes());
+        }
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert!(SizeClass::from_index(25).is_some());
+        assert!(SizeClass::from_index(26).is_none());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(SizeClass::MIN.to_string(), "sc0(128B)");
+        assert_eq!(SizeClass::for_len(2048).unwrap().to_string(), "sc4(2KiB)");
+        assert_eq!(SizeClass::MAX.to_string(), "sc25(4GiB)");
+    }
+}

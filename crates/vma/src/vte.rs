@@ -1,0 +1,273 @@
+//! The VMA table entry (Figure 8).
+//!
+//! Each VTE spans one cache block (512 bits) to avoid false sharing:
+//!
+//! ```text
+//! 511        192 191   128 127     64 63        0
+//! +--------------+---------+----------+-----------+
+//! |  sub-array   |   ptr   |   offs   | a | bound |
+//! +--------------+---------+----------+-----------+
+//! ```
+//!
+//! `offs`/`bound` describe the physical backing and length, `a` holds the
+//! attribute bits (Valid, Global, Privilege), and the sub-array packs up to
+//! [`SUB_ARRAY_LEN`] (PD id, permission) pairs — "the common case of VMAs
+//! with up to 20 sharers". Rarer, wider sharing spills into a complete
+//! list reached through `ptr`.
+//!
+//! If the Global (G) bit is clear, the VTW considers the VTE valid for the
+//! executing `ucid` only if a matching sub-array (or overflow) entry exists,
+//! and the permission comes from that entry; a G-bit VTE grants its
+//! attribute permission to every PD (used for shared read-only code).
+
+use jord_hw::types::{PdId, Perm, Va};
+
+/// Capacity of the in-line (PD, permission) sub-array.
+pub const SUB_ARRAY_LEN: usize = 20;
+
+/// Attribute bits of a VTE (the `a` field of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VteAttr {
+    /// Entry holds a live mapping.
+    pub valid: bool,
+    /// Global (G) bit: permission applies to all PDs.
+    pub global: bool,
+    /// Privilege (P) bit: VMA belongs to PrivLib; only privileged code may
+    /// touch it (§4.3).
+    pub privileged: bool,
+    /// Permission used when `global` is set.
+    pub global_perm: Perm,
+}
+
+/// One VMA table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vte {
+    /// Base virtual address of the VMA.
+    pub base: Va,
+    /// Requested VMA length in bytes (`bound`); the rest of the size-class
+    /// chunk is reserved for future resizing.
+    pub len: u64,
+    /// Physical backing base (`offs`); timing-neutral bookkeeping here.
+    pub phys: u64,
+    /// Attribute bits.
+    pub attr: VteAttr,
+    /// In-line sharer permissions.
+    sub_array: [Option<(PdId, Perm)>; SUB_ARRAY_LEN],
+    /// Overflow sharer list (`ptr`), allocated only beyond 20 sharers.
+    /// Deliberately boxed: like the hardware's `ptr` field, the in-line VTE
+    /// stores only a pointer, and the common (≤20 sharer) case stays small.
+    #[allow(clippy::box_collection)]
+    overflow: Option<Box<Vec<(PdId, Perm)>>>,
+}
+
+impl Vte {
+    /// Creates a valid VTE with no sharers.
+    pub fn new(base: Va, len: u64, phys: u64) -> Self {
+        Vte {
+            base,
+            len,
+            phys,
+            attr: VteAttr {
+                valid: true,
+                ..VteAttr::default()
+            },
+            sub_array: [None; SUB_ARRAY_LEN],
+            overflow: None,
+        }
+    }
+
+    /// The permission `pd` holds on this VMA ([`Perm::NONE`] if unshared).
+    pub fn perm_for(&self, pd: PdId) -> Perm {
+        if !self.attr.valid {
+            return Perm::NONE;
+        }
+        if self.attr.global {
+            return self.attr.global_perm;
+        }
+        for slot in self.sub_array.iter().flatten() {
+            if slot.0 == pd {
+                return slot.1;
+            }
+        }
+        if let Some(of) = &self.overflow {
+            for &(p, perm) in of.iter() {
+                if p == pd {
+                    return perm;
+                }
+            }
+        }
+        Perm::NONE
+    }
+
+    /// Grants (or replaces) `pd`'s permission. Spills to the overflow list
+    /// when the sub-array is full. Granting [`Perm::NONE`] revokes.
+    pub fn set_perm(&mut self, pd: PdId, perm: Perm) {
+        if perm.is_none() {
+            self.revoke(pd);
+            return;
+        }
+        // Replace in place if present.
+        for (p, existing) in self.sub_array.iter_mut().flatten() {
+            if *p == pd {
+                *existing = perm;
+                return;
+            }
+        }
+        if let Some(of) = &mut self.overflow {
+            if let Some(e) = of.iter_mut().find(|(p, _)| *p == pd) {
+                e.1 = perm;
+                return;
+            }
+        }
+        // Insert into the first free sub-array slot, else overflow.
+        for slot in self.sub_array.iter_mut() {
+            if slot.is_none() {
+                *slot = Some((pd, perm));
+                return;
+            }
+        }
+        self.overflow
+            .get_or_insert_with(Default::default)
+            .push((pd, perm));
+    }
+
+    /// Removes `pd`'s permission entirely.
+    pub fn revoke(&mut self, pd: PdId) {
+        for slot in self.sub_array.iter_mut() {
+            if matches!(slot, Some((p, _)) if *p == pd) {
+                *slot = None;
+                return;
+            }
+        }
+        if let Some(of) = &mut self.overflow {
+            of.retain(|(p, _)| *p != pd);
+            if of.is_empty() {
+                self.overflow = None;
+            }
+        }
+    }
+
+    /// Number of PDs holding a permission (excluding G-bit grants).
+    pub fn sharer_count(&self) -> usize {
+        self.sub_array.iter().flatten().count()
+            + self.overflow.as_ref().map_or(0, |of| of.len())
+    }
+
+    /// True if the overflow (`ptr`) list is in use.
+    pub fn uses_overflow(&self) -> bool {
+        self.overflow.is_some()
+    }
+
+    /// Clears all sharers (used on deallocation before the slot is reused).
+    pub fn clear_sharers(&mut self) {
+        self.sub_array = [None; SUB_ARRAY_LEN];
+        self.overflow = None;
+    }
+
+    /// Iterates over every (PD, permission) pair.
+    pub fn sharers(&self) -> impl Iterator<Item = (PdId, Perm)> + '_ {
+        self.sub_array
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.overflow.iter().flat_map(|of| of.iter().copied()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vte_grants_nothing() {
+        let v = Vte::new(0x1000, 256, 0x9000);
+        assert_eq!(v.perm_for(PdId(1)), Perm::NONE);
+        assert_eq!(v.sharer_count(), 0);
+    }
+
+    #[test]
+    fn grant_and_revoke() {
+        let mut v = Vte::new(0x1000, 256, 0);
+        v.set_perm(PdId(1), Perm::RW);
+        v.set_perm(PdId(2), Perm::READ);
+        assert_eq!(v.perm_for(PdId(1)), Perm::RW);
+        assert_eq!(v.perm_for(PdId(2)), Perm::READ);
+        assert_eq!(v.sharer_count(), 2);
+        v.revoke(PdId(1));
+        assert_eq!(v.perm_for(PdId(1)), Perm::NONE);
+        assert_eq!(v.sharer_count(), 1);
+    }
+
+    #[test]
+    fn replace_updates_in_place() {
+        let mut v = Vte::new(0, 128, 0);
+        v.set_perm(PdId(1), Perm::READ);
+        v.set_perm(PdId(1), Perm::RWX);
+        assert_eq!(v.perm_for(PdId(1)), Perm::RWX);
+        assert_eq!(v.sharer_count(), 1);
+    }
+
+    #[test]
+    fn granting_none_revokes() {
+        let mut v = Vte::new(0, 128, 0);
+        v.set_perm(PdId(1), Perm::RW);
+        v.set_perm(PdId(1), Perm::NONE);
+        assert_eq!(v.sharer_count(), 0);
+    }
+
+    #[test]
+    fn spills_to_overflow_beyond_20_sharers() {
+        let mut v = Vte::new(0, 128, 0);
+        for i in 0..SUB_ARRAY_LEN as u16 {
+            v.set_perm(PdId(i + 1), Perm::READ);
+        }
+        assert!(!v.uses_overflow());
+        v.set_perm(PdId(100), Perm::RW);
+        assert!(v.uses_overflow(), "21st sharer goes through ptr");
+        assert_eq!(v.perm_for(PdId(100)), Perm::RW);
+        assert_eq!(v.sharer_count(), 21);
+        // Revoking the overflow sharer frees the list.
+        v.revoke(PdId(100));
+        assert!(!v.uses_overflow());
+    }
+
+    #[test]
+    fn overflow_entry_can_be_updated() {
+        let mut v = Vte::new(0, 128, 0);
+        for i in 0..SUB_ARRAY_LEN as u16 + 1 {
+            v.set_perm(PdId(i + 1), Perm::READ);
+        }
+        let last = PdId(SUB_ARRAY_LEN as u16 + 1);
+        v.set_perm(last, Perm::RWX);
+        assert_eq!(v.perm_for(last), Perm::RWX);
+        assert_eq!(v.sharer_count(), SUB_ARRAY_LEN + 1);
+    }
+
+    #[test]
+    fn global_bit_grants_everyone() {
+        let mut v = Vte::new(0, 128, 0);
+        v.attr.global = true;
+        v.attr.global_perm = Perm::RX;
+        assert_eq!(v.perm_for(PdId(7)), Perm::RX);
+        assert_eq!(v.perm_for(PdId(9999)), Perm::RX);
+    }
+
+    #[test]
+    fn invalid_vte_grants_nothing() {
+        let mut v = Vte::new(0, 128, 0);
+        v.set_perm(PdId(1), Perm::RWX);
+        v.attr.valid = false;
+        assert_eq!(v.perm_for(PdId(1)), Perm::NONE);
+    }
+
+    #[test]
+    fn sharers_iterates_both_regions() {
+        let mut v = Vte::new(0, 128, 0);
+        for i in 0..22u16 {
+            v.set_perm(PdId(i + 1), Perm::READ);
+        }
+        assert_eq!(v.sharers().count(), 22);
+        v.clear_sharers();
+        assert_eq!(v.sharers().count(), 0);
+    }
+}

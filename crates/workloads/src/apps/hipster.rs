@@ -1,0 +1,115 @@
+//! Google OnlineBoutique ("Hipster shop") ported to Jord functions.
+//!
+//! The lightest of the four workloads: short leaf services (currency
+//! conversion, catalog lookups, cart storage) composed by thin entry
+//! functions averaging ~3 nested calls. The paper's Figure 9 shows Jord
+//! sustaining ≈12 MRPS under SLO here, so per-request CPU is ≈2.5 µs on
+//! 30 executors. Selected functions (Table 3): **GetCart (GC)** and
+//! **PlaceOrder (PO)**.
+
+use jord_core::{FuncOp, FunctionRegistry, FunctionSpec};
+
+use super::{EntryPoint, Workload, WorkloadKind};
+
+/// Builds the Hipster workload.
+pub fn build() -> Workload {
+    let mut r = FunctionRegistry::new();
+
+    // ---- leaf services -------------------------------------------------
+    let currency = r.register(
+        FunctionSpec::new("CurrencyConvert")
+            .op(FuncOp::ReadInput)
+            .compute(200.0, 0.3)
+            .op(FuncOp::WriteOutput),
+    );
+    let cart_store = r.register(
+        FunctionSpec::new("CartStore")
+            .op(FuncOp::ReadInput)
+            .compute(370.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let catalog = r.register(
+        FunctionSpec::new("ProductCatalog")
+            .op(FuncOp::ReadInput)
+            .compute(250.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let shipping = r.register(
+        FunctionSpec::new("ShippingQuote")
+            .op(FuncOp::ReadInput)
+            .compute(270.0, 0.3)
+            .op(FuncOp::WriteOutput),
+    );
+    let payment = r.register(
+        FunctionSpec::new("PaymentCharge")
+            .op(FuncOp::ReadInput)
+            .compute(300.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let email = r.register(
+        FunctionSpec::new("EmailConfirmation")
+            .op(FuncOp::ReadInput)
+            .compute(300.0, 0.5)
+            .op(FuncOp::WriteOutput),
+    );
+
+    // ---- entry functions ------------------------------------------------
+    // GetCart: fetch the cart, convert prices.
+    let get_cart = r.register(
+        FunctionSpec::new("GetCart")
+            .op(FuncOp::ReadInput)
+            .compute(330.0, 0.4)
+            .call(cart_store, 256)
+            .call(currency, 128)
+            .op(FuncOp::WriteOutput),
+    );
+    // ListProducts: catalog + currency.
+    let list_products = r.register(
+        FunctionSpec::new("ListProducts")
+            .op(FuncOp::ReadInput)
+            .compute(280.0, 0.4)
+            .call(catalog, 256)
+            .call(currency, 128)
+            .op(FuncOp::WriteOutput),
+    );
+    // PlaceOrder: the checkout flow — cart, payment, shipping in parallel,
+    // then an async confirmation email.
+    let place_order = r.register(
+        FunctionSpec::new("PlaceOrder")
+            .op(FuncOp::ReadInput)
+            .compute(520.0, 0.4)
+            .call(cart_store, 256)
+            .call_async(payment, 256)
+            .call_async(shipping, 128)
+            .op(FuncOp::WaitAll)
+            .call_async(email, 128)
+            .op(FuncOp::WaitAll)
+            .op(FuncOp::WriteOutput),
+    );
+
+    Workload {
+        kind: WorkloadKind::Hipster,
+        registry: r,
+        entries: vec![
+            EntryPoint {
+                func: get_cart,
+                name: "GetCart",
+                weight: 0.50,
+                arg_bytes: 512,
+            },
+            EntryPoint {
+                func: list_products,
+                name: "ListProducts",
+                weight: 0.35,
+                arg_bytes: 448,
+            },
+            EntryPoint {
+                func: place_order,
+                name: "PlaceOrder",
+                weight: 0.15,
+                arg_bytes: 640,
+            },
+        ],
+        selected: vec![("GC", get_cart), ("PO", place_order)],
+    }
+}

@@ -1,0 +1,89 @@
+//! DeathStarBench hotel reservation ported to Jord functions.
+//!
+//! Mid-weight leaves (geo index search, rate plans, profiles) behind two
+//! entry points averaging ~3 nested calls. Figure 9: ≈7 MRPS under SLO →
+//! ≈4.3 µs of CPU per request on 30 executors. Selected functions
+//! (Table 3): **SearchNearby (SN)** and **MakeReservation (MR)**.
+
+use jord_core::{FuncOp, FunctionRegistry, FunctionSpec};
+
+use super::{EntryPoint, Workload, WorkloadKind};
+
+/// Builds the Hotel workload.
+pub fn build() -> Workload {
+    let mut r = FunctionRegistry::new();
+
+    let geo = r.register(
+        FunctionSpec::new("GeoSearch")
+            .op(FuncOp::ReadInput)
+            .compute(750.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let rates = r.register(
+        FunctionSpec::new("RatePlans")
+            .op(FuncOp::ReadInput)
+            .compute(650.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let profile = r.register(
+        FunctionSpec::new("HotelProfile")
+            .op(FuncOp::ReadInput)
+            .compute(550.0, 0.5)
+            .op(FuncOp::WriteOutput),
+    );
+    let reservation_db = r.register(
+        FunctionSpec::new("ReservationStore")
+            .op(FuncOp::ReadInput)
+            .compute(800.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let user_auth = r.register(
+        FunctionSpec::new("UserAuth")
+            .op(FuncOp::ReadInput)
+            .compute(350.0, 0.3)
+            .op(FuncOp::WriteOutput),
+    );
+
+    // SearchNearby: geo index, then rates and profiles in parallel.
+    let search_nearby = r.register(
+        FunctionSpec::new("SearchNearby")
+            .op(FuncOp::ReadInput)
+            .compute(500.0, 0.4)
+            .call(geo, 256)
+            .call_async(rates, 256)
+            .call_async(profile, 256)
+            .op(FuncOp::WaitAll)
+            .op(FuncOp::WriteOutput),
+    );
+    // MakeReservation: authenticate, write the reservation, refresh rates.
+    let make_reservation = r.register(
+        FunctionSpec::new("MakeReservation")
+            .op(FuncOp::ReadInput)
+            .compute(450.0, 0.4)
+            .call(user_auth, 128)
+            .call(reservation_db, 384)
+            .call_async(rates, 128)
+            .op(FuncOp::WaitAll)
+            .op(FuncOp::WriteOutput),
+    );
+
+    Workload {
+        kind: WorkloadKind::Hotel,
+        registry: r,
+        entries: vec![
+            EntryPoint {
+                func: search_nearby,
+                name: "SearchNearby",
+                weight: 0.70,
+                arg_bytes: 512,
+            },
+            EntryPoint {
+                func: make_reservation,
+                name: "MakeReservation",
+                weight: 0.30,
+                arg_bytes: 512,
+            },
+        ],
+        selected: vec![("SN", search_nearby), ("MR", make_reservation)],
+    }
+}

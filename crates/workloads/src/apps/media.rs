@@ -1,0 +1,126 @@
+//! DeathStarBench media service ported to Jord functions.
+//!
+//! The nesting-heavy workload: "each function invokes an average of 12
+//! nested functions, compared to three in other workloads" (§6.1), and
+//! ReadPage issues *more than 100* nested invocations (§6.2). This is the
+//! workload where Jord's per-invocation overheads compound (≈30 % of
+//! service time) and where it reaches only ~70 % of Jord_NI. Selected
+//! functions (Table 3): **UploadUniqueId (UU)** and **ReadPage (RP)**.
+
+use jord_core::{FuncOp, FunctionRegistry, FunctionSpec};
+
+use super::{EntryPoint, Workload, WorkloadKind};
+
+/// Nested review reads a ReadPage issues (batched 10-way async).
+const RP_REVIEWS: usize = 110;
+/// Async batch width for ReadPage's review fan-out.
+const RP_BATCH: usize = 10;
+
+/// Builds the Media workload.
+pub fn build() -> Workload {
+    let mut r = FunctionRegistry::new();
+
+    let unique_id = r.register(
+        FunctionSpec::new("UniqueIdStore")
+            .op(FuncOp::ReadInput)
+            .compute(220.0, 0.3)
+            .op(FuncOp::WriteOutput),
+    );
+    let text_store = r.register(
+        FunctionSpec::new("TextStore")
+            .op(FuncOp::ReadInput)
+            .compute(300.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let movie_id = r.register(
+        FunctionSpec::new("MovieIdLookup")
+            .op(FuncOp::ReadInput)
+            .compute(260.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let rating = r.register(
+        FunctionSpec::new("RatingStore")
+            .op(FuncOp::ReadInput)
+            .compute(240.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let review_store = r.register(
+        FunctionSpec::new("ReviewStore")
+            .op(FuncOp::ReadInput)
+            .compute(320.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let review_read = r.register(
+        FunctionSpec::new("ReviewRead")
+            .op(FuncOp::ReadInput)
+            .compute(260.0, 0.5)
+            .op(FuncOp::WriteOutput),
+    );
+    let movie_info = r.register(
+        FunctionSpec::new("MovieInfo")
+            .op(FuncOp::ReadInput)
+            .compute(350.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let plot = r.register(
+        FunctionSpec::new("PlotRead")
+            .op(FuncOp::ReadInput)
+            .compute(300.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+
+    // UploadUniqueId: the compose-review pipeline — id, text, movie id,
+    // rating, review write, then two async index updates.
+    let upload_unique_id = r.register(
+        FunctionSpec::new("UploadUniqueId")
+            .op(FuncOp::ReadInput)
+            .compute(280.0, 0.4)
+            .call(unique_id, 128)
+            .call(text_store, 512)
+            .call(movie_id, 128)
+            .call_async(rating, 128)
+            .call_async(review_store, 512)
+            .op(FuncOp::WaitAll)
+            .call_async(movie_info, 128)
+            .call_async(plot, 128)
+            .op(FuncOp::WaitAll)
+            .op(FuncOp::WriteOutput),
+    );
+
+    // ReadPage: movie info + plot, then >100 review reads in async batches.
+    let mut read_page = FunctionSpec::new("ReadPage")
+        .op(FuncOp::ReadInput)
+        .compute(400.0, 0.4)
+        .call(movie_info, 256)
+        .call(plot, 256);
+    let mut remaining = RP_REVIEWS;
+    while remaining > 0 {
+        let batch = remaining.min(RP_BATCH);
+        for _ in 0..batch {
+            read_page = read_page.call_async(review_read, 128);
+        }
+        read_page = read_page.op(FuncOp::WaitAll);
+        remaining -= batch;
+    }
+    let read_page = r.register(read_page.op(FuncOp::WriteOutput));
+
+    Workload {
+        kind: WorkloadKind::Media,
+        registry: r,
+        entries: vec![
+            EntryPoint {
+                func: upload_unique_id,
+                name: "UploadUniqueId",
+                weight: 0.95,
+                arg_bytes: 640,
+            },
+            EntryPoint {
+                func: read_page,
+                name: "ReadPage",
+                weight: 0.05,
+                arg_bytes: 512,
+            },
+        ],
+        selected: vec![("UU", upload_unique_id), ("RP", read_page)],
+    }
+}

@@ -1,0 +1,178 @@
+//! The four evaluated applications, ported to Jord's function paradigm.
+
+pub mod hipster;
+pub mod hotel;
+pub mod media;
+pub mod social;
+
+use jord_core::{FunctionId, FunctionRegistry};
+
+/// The paper's target workloads (§5, Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Google OnlineBoutique ("Hipster shop").
+    Hipster,
+    /// DeathStarBench hotel reservation.
+    Hotel,
+    /// DeathStarBench media service.
+    Media,
+    /// DeathStarBench social network.
+    Social,
+}
+
+impl WorkloadKind {
+    /// All four workloads, in the paper's figure order.
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Hipster,
+        WorkloadKind::Hotel,
+        WorkloadKind::Media,
+        WorkloadKind::Social,
+    ];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Hipster => "Hipster",
+            WorkloadKind::Hotel => "Hotel",
+            WorkloadKind::Media => "Media",
+            WorkloadKind::Social => "Social",
+        }
+    }
+}
+
+/// An externally invocable function with its traffic share.
+#[derive(Debug, Clone)]
+pub struct EntryPoint {
+    /// The entry function.
+    pub func: FunctionId,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Relative weight in the request mix.
+    pub weight: f64,
+    /// External request payload bytes.
+    pub arg_bytes: u64,
+}
+
+/// A deployed application: its function registry, entry-point mix, and the
+/// Table 3 selected functions.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which application this is.
+    pub kind: WorkloadKind,
+    /// Every deployed function.
+    pub registry: FunctionRegistry,
+    /// External entry points with mix weights.
+    pub entries: Vec<EntryPoint>,
+    /// The Table 3 selected functions: (abbreviation, id).
+    pub selected: Vec<(&'static str, FunctionId)>,
+}
+
+impl Workload {
+    /// Builds one of the four applications.
+    pub fn build(kind: WorkloadKind) -> Workload {
+        match kind {
+            WorkloadKind::Hipster => hipster::build(),
+            WorkloadKind::Hotel => hotel::build(),
+            WorkloadKind::Media => media::build(),
+            WorkloadKind::Social => social::build(),
+        }
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Mean invocations (entry + transitive nested) per external request
+    /// under the entry mix.
+    pub fn mean_invocations_per_request(&self) -> f64 {
+        let total_w: f64 = self.entries.iter().map(|e| e.weight).sum();
+        self.entries
+            .iter()
+            .map(|e| {
+                e.weight / total_w * self.registry.invocation_fanout(e.func) as f64
+            })
+            .sum()
+    }
+
+    /// Looks up a Table 3 selected function by abbreviation.
+    pub fn selected_fn(&self, abbr: &str) -> Option<FunctionId> {
+        self.selected
+            .iter()
+            .find(|(a, _)| *a == abbr)
+            .map(|(_, id)| *id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_workloads_build() {
+        for kind in WorkloadKind::ALL {
+            let w = Workload::build(kind);
+            assert!(!w.registry.is_empty(), "{} has functions", w.name());
+            assert!(!w.entries.is_empty(), "{} has entries", w.name());
+            assert_eq!(w.selected.len(), 2, "{}: Table 3 selects two functions", w.name());
+            let total_w: f64 = w.entries.iter().map(|e| e.weight).sum();
+            assert!(total_w > 0.0);
+        }
+    }
+
+    #[test]
+    fn nested_call_averages_match_the_paper() {
+        // §6.1: "each function invokes an average of 12 nested functions
+        // [in Media], compared to three in other workloads."
+        let media = Workload::build(WorkloadKind::Media).mean_invocations_per_request() - 1.0;
+        assert!(
+            (9.0..18.0).contains(&media),
+            "Media should average ~12 nested calls, got {media:.1}"
+        );
+        for kind in [WorkloadKind::Hipster, WorkloadKind::Hotel, WorkloadKind::Social] {
+            let nested =
+                Workload::build(kind).mean_invocations_per_request() - 1.0;
+            // Social sits a bit above three on average because ComposePost's
+            // timeline fan-out is itself wide; it must still be far from
+            // Media's twelve.
+            assert!(
+                (1.5..8.0).contains(&nested),
+                "{} should average a few nested calls, got {nested:.1}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn media_readpage_issues_over_100_nested_calls() {
+        // §6.2: "RP with excessive nested function invocations (more than 100)".
+        let w = Workload::build(WorkloadKind::Media);
+        let rp = w.selected_fn("RP").expect("RP selected");
+        assert!(w.registry.invocation_fanout(rp) > 100);
+    }
+
+    #[test]
+    fn selected_functions_match_table3() {
+        let expect: [(WorkloadKind, [&str; 2]); 4] = [
+            (WorkloadKind::Hipster, ["GC", "PO"]),
+            (WorkloadKind::Hotel, ["SN", "MR"]),
+            (WorkloadKind::Media, ["UU", "RP"]),
+            (WorkloadKind::Social, ["F", "CP"]),
+        ];
+        for (kind, abbrs) in expect {
+            let w = Workload::build(kind);
+            for a in abbrs {
+                assert!(w.selected_fn(a).is_some(), "{} missing {a}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn social_has_a_heavy_tail_function() {
+        // Figure 10: Social's CDF tail reaches ~75 µs.
+        let w = Workload::build(WorkloadKind::Social);
+        let cp = w.selected_fn("CP").unwrap();
+        let own = w.registry.spec(cp).mean_compute_ns();
+        assert!(own > 30_000.0, "ComposePost must be tens of µs, got {own}");
+    }
+}

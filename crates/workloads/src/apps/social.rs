@@ -1,0 +1,139 @@
+//! DeathStarBench social network ported to Jord functions.
+//!
+//! The heavy-tailed workload: Follow is a light graph update, but
+//! ComposePost does tens of microseconds of text processing (URL
+//! shortening, user-mention extraction) before fanning out timeline
+//! writes — it is the ~75 µs function visible in Figure 10's CDF tail,
+//! and it caps throughput under SLO at ≈0.9 MRPS. Selected functions
+//! (Table 3): **Follow (F)** and **ComposePost (CP)**.
+
+use jord_core::{FuncOp, FunctionRegistry, FunctionSpec};
+
+use super::{EntryPoint, Workload, WorkloadKind};
+
+/// Home-timeline fan-out width for ComposePost.
+const TIMELINE_FANOUT: usize = 6;
+
+/// Builds the Social workload.
+pub fn build() -> Workload {
+    let mut r = FunctionRegistry::new();
+
+    let social_graph = r.register(
+        FunctionSpec::new("SocialGraphUpdate")
+            .op(FuncOp::ReadInput)
+            .compute(500.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let user_store = r.register(
+        FunctionSpec::new("UserStore")
+            .op(FuncOp::ReadInput)
+            .compute(400.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let unique_id = r.register(
+        FunctionSpec::new("UniqueId")
+            .op(FuncOp::ReadInput)
+            .compute(200.0, 0.3)
+            .op(FuncOp::WriteOutput),
+    );
+    let media_store = r.register(
+        FunctionSpec::new("MediaStore")
+            .op(FuncOp::ReadInput)
+            .compute(900.0, 0.6)
+            .op(FuncOp::WriteOutput),
+    );
+    let post_store = r.register(
+        FunctionSpec::new("PostStore")
+            .op(FuncOp::ReadInput)
+            .compute(700.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let user_timeline = r.register(
+        FunctionSpec::new("UserTimelineWrite")
+            .op(FuncOp::ReadInput)
+            .compute(600.0, 0.4)
+            .op(FuncOp::WriteOutput),
+    );
+    let home_timeline = r.register(
+        FunctionSpec::new("HomeTimelineWrite")
+            .op(FuncOp::ReadInput)
+            .compute(800.0, 0.5)
+            .op(FuncOp::WriteOutput),
+    );
+    let read_timeline = r.register(
+        FunctionSpec::new("ReadUserTimeline")
+            .op(FuncOp::ReadInput)
+            .compute(1_200.0, 0.5)
+            .op(FuncOp::WriteOutput),
+    );
+
+    // Follow: update both directions of the social graph, refresh users.
+    let follow = r.register(
+        FunctionSpec::new("Follow")
+            .op(FuncOp::ReadInput)
+            .compute(450.0, 0.4)
+            .call(social_graph, 256)
+            .call_async(user_store, 128)
+            .call_async(user_store, 128)
+            .op(FuncOp::WaitAll)
+            .op(FuncOp::WriteOutput),
+    );
+
+    // ReadHomeTimeline: a read-mostly entry.
+    let read_home = r.register(
+        FunctionSpec::new("ReadHomeTimeline")
+            .op(FuncOp::ReadInput)
+            .compute(800.0, 0.4)
+            .call(read_timeline, 512)
+            .call(post_store, 512)
+            .op(FuncOp::WriteOutput),
+    );
+
+    // ComposePost: heavy text processing (~45 µs median: URL shortening,
+    // user mentions, filtering — the Figure 10 tail), a scratch buffer,
+    // then id/media/post writes and the timeline fan-out.
+    let mut compose = FunctionSpec::new("ComposePost")
+        .op(FuncOp::ReadInput)
+        .op(FuncOp::MmapTemp { bytes: 16 << 10 })
+        .compute(44_000.0, 0.15)
+        .call(unique_id, 128)
+        .call_async(media_store, 1024)
+        .call(post_store, 1024)
+        .op(FuncOp::WaitAll)
+        .call(user_timeline, 256);
+    for _ in 0..TIMELINE_FANOUT {
+        compose = compose.call_async(home_timeline, 256);
+    }
+    let compose_post = r.register(
+        compose
+            .op(FuncOp::WaitAll)
+            .op(FuncOp::MunmapTemp)
+            .op(FuncOp::WriteOutput),
+    );
+
+    Workload {
+        kind: WorkloadKind::Social,
+        registry: r,
+        entries: vec![
+            EntryPoint {
+                func: follow,
+                name: "Follow",
+                weight: 0.30,
+                arg_bytes: 384,
+            },
+            EntryPoint {
+                func: read_home,
+                name: "ReadHomeTimeline",
+                weight: 0.20,
+                arg_bytes: 512,
+            },
+            EntryPoint {
+                func: compose_post,
+                name: "ComposePost",
+                weight: 0.50,
+                arg_bytes: 1024,
+            },
+        ],
+        selected: vec![("F", follow), ("CP", compose_post)],
+    }
+}

@@ -1,0 +1,50 @@
+//! # jord-workloads — microservice workloads, load generation, and SLOs
+//!
+//! The paper evaluates Jord on three DeathStarBench applications —
+//! **Social** network, **Media** service, **Hotel** reservation — and on
+//! Google's OnlineBoutique (**Hipster**), all "ported to Jord by rewriting
+//! them into functions following Jord's paradigm" (§5). This crate is that
+//! port: each application is a set of [`jord_core::FunctionSpec`] DAGs with
+//! compute-time distributions, nested-call structure, and ArgBuf sizes
+//! calibrated to the characteristics the paper reports (≈3 nested calls
+//! per request except Media's ≈12; ReadPage issuing >100; ≈15 cache blocks
+//! of ArgBuf data per request; the Figure 10 service-time shapes, including
+//! Social's ~75 µs ComposePost tail).
+//!
+//! The crate also provides:
+//!
+//! * [`LoadGen`] — a wrk2-style open-loop generator with Poisson arrivals
+//!   and per-workload entry-point mixes (§5),
+//! * [`runner`] — one-call drivers that assemble a server (any Jord
+//!   variant or NightCore), inject a load, and return the measurement
+//!   report,
+//! * [`slo`] — the paper's SLO machinery: 10× the minimal-load service
+//!   time on Jord_NI, and the "throughput under SLO" search used all over
+//!   §6.
+//!
+//! # Example
+//!
+//! ```
+//! use jord_workloads::{LoadGen, Workload, WorkloadKind};
+//! use jord_core::{RuntimeConfig, SystemVariant, WorkerServer};
+//!
+//! let workload = Workload::build(WorkloadKind::Hotel);
+//! let mut server = WorkerServer::new(RuntimeConfig::jord_32(), workload.registry.clone()).unwrap();
+//! // 2000 requests at 1 MRPS.
+//! let mut gen = LoadGen::new(&workload, 7);
+//! for (t, func, bytes) in gen.arrivals(1.0e6, 2000) {
+//!     server.push_request(t, func, bytes);
+//! }
+//! let report = server.run();
+//! assert_eq!(report.completed, 2000);
+//! ```
+
+pub mod apps;
+pub mod loadgen;
+pub mod runner;
+pub mod slo;
+
+pub use apps::{EntryPoint, Workload, WorkloadKind};
+pub use loadgen::LoadGen;
+pub use runner::{run_system, System, SweepPoint};
+pub use slo::{measure_slo, throughput_under_slo};

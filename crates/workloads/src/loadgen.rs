@@ -1,0 +1,167 @@
+//! wrk2-style open-loop load generation (§5).
+//!
+//! "Function invocation requests are generated using a load generator
+//! similar to wrk2 with configurable loads and a Poisson arrival process."
+//! Arrivals are open-loop: the generator never waits for responses, so
+//! queueing delay shows up in the measured latency instead of silently
+//! throttling the load (the coordinated-omission trap wrk2 exists to
+//! avoid).
+
+use jord_core::FunctionId;
+use jord_sim::{Rng, SimDuration, SimTime};
+
+use crate::apps::Workload;
+
+/// An open-loop Poisson request generator over a workload's entry mix.
+#[derive(Debug)]
+pub struct LoadGen {
+    rng: Rng,
+    /// (cumulative weight, func, bytes), normalized to 1.0.
+    mix: Vec<(f64, FunctionId, u64)>,
+}
+
+impl LoadGen {
+    /// Creates a generator for `workload` seeded with `seed`.
+    pub fn new(workload: &Workload, seed: u64) -> Self {
+        let total: f64 = workload.entries.iter().map(|e| e.weight).sum();
+        let mut acc = 0.0;
+        let mix = workload
+            .entries
+            .iter()
+            .map(|e| {
+                acc += e.weight / total;
+                (acc, e.func, e.arg_bytes)
+            })
+            .collect();
+        LoadGen {
+            rng: Rng::new(seed ^ 0x6f70_656e_6c6f_6f70),
+            mix,
+        }
+    }
+
+    /// Draws one entry point from the mix.
+    fn draw(&mut self) -> (FunctionId, u64) {
+        let x = self.rng.next_f64();
+        for &(cum, func, bytes) in &self.mix {
+            if x <= cum {
+                return (func, bytes);
+            }
+        }
+        let &(_, func, bytes) = self.mix.last().expect("non-empty mix");
+        (func, bytes)
+    }
+
+    /// Generates `n` arrivals at `rate_rps` requests per second (Poisson:
+    /// exponential inter-arrival times with mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not positive.
+    /// Generates arrivals from an explicit timestamp trace (e.g. replayed
+    /// from a production log, as cold-start studies do with the Azure
+    /// traces); the entry-point mix is still drawn per request.
+    ///
+    /// Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace goes backwards in time.
+    pub fn arrivals_from_trace(&mut self, trace: &[SimTime]) -> Vec<(SimTime, FunctionId, u64)> {
+        let mut last = SimTime::ZERO;
+        trace
+            .iter()
+            .map(|&t| {
+                assert!(t >= last, "trace timestamps must be non-decreasing");
+                last = t;
+                let (func, bytes) = self.draw();
+                (t, func, bytes)
+            })
+            .collect()
+    }
+
+    pub fn arrivals(&mut self, rate_rps: f64, n: usize) -> Vec<(SimTime, FunctionId, u64)> {
+        assert!(rate_rps > 0.0, "rate must be positive");
+        let mean_ns = 1e9 / rate_rps;
+        let mut t = SimTime::ZERO;
+        (0..n)
+            .map(|_| {
+                t += SimDuration::from_ns_f64(self.rng.exponential(mean_ns));
+                let (func, bytes) = self.draw();
+                (t, func, bytes)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::WorkloadKind;
+
+    fn gen() -> LoadGen {
+        LoadGen::new(&Workload::build(WorkloadKind::Hotel), 3)
+    }
+
+    #[test]
+    fn arrival_rate_converges() {
+        let mut g = gen();
+        let n = 100_000;
+        let rate = 2.0e6; // 2 MRPS
+        let arr = g.arrivals(rate, n);
+        let span_s = arr.last().unwrap().0.as_us_f64() * 1e-6;
+        let measured = n as f64 / span_s;
+        assert!(
+            (measured - rate).abs() / rate < 0.02,
+            "measured {measured:.0} rps vs {rate:.0}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone_nondecreasing() {
+        let mut g = gen();
+        let arr = g.arrivals(1.0e6, 10_000);
+        assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn mix_fractions_match_weights() {
+        let w = Workload::build(WorkloadKind::Hotel);
+        let mut g = LoadGen::new(&w, 5);
+        let arr = g.arrivals(1.0e6, 100_000);
+        let sn = w.entries[0].func;
+        let frac = arr.iter().filter(|(_, f, _)| *f == sn).count() as f64 / arr.len() as f64;
+        assert!((frac - 0.70).abs() < 0.02, "SearchNearby share {frac}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_trace() {
+        let a = LoadGen::new(&Workload::build(WorkloadKind::Media), 11).arrivals(1.5e6, 1000);
+        let b = LoadGen::new(&Workload::build(WorkloadKind::Media), 11).arrivals(1.5e6, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        gen().arrivals(0.0, 1);
+    }
+
+    #[test]
+    fn trace_replay_preserves_timestamps_and_draws_the_mix() {
+        let mut g = gen();
+        let trace: Vec<SimTime> = (0..1000).map(|i| SimTime::from_ns(i * 333)).collect();
+        let arr = g.arrivals_from_trace(&trace);
+        assert_eq!(arr.len(), 1000);
+        assert!(arr.iter().zip(&trace).all(|(a, &t)| a.0 == t));
+        // Both entry points appear.
+        let distinct: std::collections::HashSet<_> = arr.iter().map(|a| a.1).collect();
+        assert!(distinct.len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn backwards_trace_panics() {
+        let mut g = gen();
+        g.arrivals_from_trace(&[SimTime::from_ns(10), SimTime::from_ns(5)]);
+    }
+}

@@ -1,0 +1,84 @@
+//! SLO machinery (§5).
+//!
+//! "We use throughput under 99-percentile latency as the main performance
+//! metric, with SLO set to 10× the minimal-load service time on Jord_NI,
+//! as is common in the literature."
+
+use jord_sim::SimDuration;
+
+use crate::apps::Workload;
+use crate::runner::{RunSpec, SweepPoint, System};
+
+/// Measures the workload's SLO: 10× the mean request latency of Jord_NI
+/// at minimal load (`probe_rps`, far below saturation).
+pub fn measure_slo(workload: &Workload, probe_rps: f64, requests: usize) -> SimDuration {
+    let rep = RunSpec::new(System::JordNi, probe_rps)
+        .requests(requests, requests / 10 + 50)
+        .run(workload);
+    let base = rep.latency.mean().expect("probe run produced latencies");
+    base * 10
+}
+
+/// Sweeps `system` over `loads` (requests/second), returning the measured
+/// points and the highest offered load whose p99 met `slo`.
+///
+/// Points are returned for every load (the Figure 9 curves); the
+/// throughput-under-SLO summary is the second element.
+pub fn throughput_under_slo(
+    system: System,
+    workload: &Workload,
+    loads: &[f64],
+    slo: SimDuration,
+    requests: usize,
+) -> (Vec<SweepPoint>, f64) {
+    let mut points = Vec::with_capacity(loads.len());
+    let mut best = 0.0f64;
+    for &rate in loads {
+        let rep = RunSpec::new(system, rate)
+            .requests(requests, requests / 10 + 100)
+            .run(workload);
+        let p99 = rep.p99().expect("sweep run produced latencies");
+        let mean = rep.latency.mean().expect("non-empty");
+        points.push(SweepPoint {
+            rate_rps: rate,
+            p99_us: p99.as_us_f64(),
+            mean_us: mean.as_us_f64(),
+        });
+        if p99 <= slo {
+            best = best.max(rate);
+        }
+    }
+    (points, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::WorkloadKind;
+
+    #[test]
+    fn slo_is_ten_times_baseline() {
+        let w = Workload::build(WorkloadKind::Hipster);
+        let slo = measure_slo(&w, 0.05e6, 400);
+        let us = slo.as_us_f64();
+        // Hipster's minimal-load request latency is a few µs → SLO tens of µs.
+        assert!(
+            (5.0..200.0).contains(&us),
+            "Hipster SLO should be tens of µs, got {us:.1}"
+        );
+    }
+
+    #[test]
+    fn sweep_reports_monotone_latency_growth_toward_saturation() {
+        let w = Workload::build(WorkloadKind::Hotel);
+        let slo = measure_slo(&w, 0.05e6, 300);
+        let loads = [0.2e6, 2.0e6];
+        let (points, best) = throughput_under_slo(System::Jord, &w, &loads, slo, 1_500);
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].p99_us >= points[0].p99_us,
+            "heavier load must not lower p99"
+        );
+        assert!(best >= 0.2e6, "light load must meet SLO");
+    }
+}

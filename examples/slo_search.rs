@@ -1,0 +1,39 @@
+//! The paper's headline metric, end to end: throughput under SLO.
+//!
+//! Measures the SLO (10× Jord_NI minimal-load latency, §5), sweeps Jord and
+//! Jord_BT over increasing load on the Hotel workload, and reports the
+//! highest load each sustains — a compact version of what
+//! `cargo bench --bench fig9_performance` and `--bench fig13_btree` do for
+//! every workload.
+//!
+//! Run with: `cargo run --release --example slo_search`
+
+use jord::prelude::*;
+
+fn main() {
+    let workload = Workload::build(WorkloadKind::Hotel);
+    let slo = measure_slo(&workload, 0.05e6, 2_000);
+    println!(
+        "Hotel SLO = {:.1} us (10x Jord_NI latency at 50 kRPS)",
+        slo.as_us_f64()
+    );
+
+    let loads: Vec<f64> = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0].map(|x| x * 1e6).into();
+    for system in [System::Jord, System::JordBt] {
+        let (points, best) = throughput_under_slo(system, &workload, &loads, slo, 4_000);
+        println!("\n{:10}  p99 by load:", system.label());
+        for p in &points {
+            let marker = if p.p99_us <= slo.as_us_f64() { "meets" } else { "FAILS" };
+            println!(
+                "  {:>5.1} MRPS -> p99 {:>8.1} us   {marker}",
+                p.rate_rps / 1e6,
+                p.p99_us
+            );
+        }
+        println!(
+            "{:10}  throughput under SLO: {:.1} MRPS",
+            system.label(),
+            best / 1e6
+        );
+    }
+}

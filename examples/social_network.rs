@@ -1,0 +1,62 @@
+//! The DeathStarBench social-network workload on Jord vs enhanced
+//! NightCore — the paper's motivating comparison, end to end.
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use jord::prelude::*;
+
+fn main() {
+    let workload = Workload::build(WorkloadKind::Social);
+    println!(
+        "workload: {} ({} functions; entry mix: {})",
+        workload.name(),
+        workload.registry.len(),
+        workload
+            .entries
+            .iter()
+            .map(|e| format!("{} {:.0}%", e.name, e.weight * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The paper's SLO: 10× the minimal-load service time on Jord_NI.
+    let slo = measure_slo(&workload, 0.05e6, 2_000);
+    println!("SLO: {:.1} us (10x Jord_NI minimal-load latency)\n", slo.as_us_f64());
+
+    // Sweep both systems over increasing load.
+    let loads: Vec<f64> = [0.1, 0.2, 0.4, 0.6, 0.8].iter().map(|x| x * 1e6).collect();
+    println!("{:>8} {:>14} {:>14}", "MRPS", "Jord p99(us)", "NightCore p99(us)");
+    let mut best = [0.0f64; 2];
+    for &rate in &loads {
+        let mut cells = [0.0f64; 2];
+        for (i, sys) in [System::Jord, System::NightCore].into_iter().enumerate() {
+            let rep = RunSpec::new(sys, rate).requests(4_000, 400).run(&workload);
+            let p99 = rep.p99().unwrap();
+            cells[i] = p99.as_us_f64();
+            if p99 <= slo {
+                best[i] = best[i].max(rate);
+            }
+        }
+        println!("{:>8.2} {:>14.1} {:>14.1}", rate / 1e6, cells[0], cells[1]);
+    }
+    println!(
+        "\nthroughput under SLO: Jord {:.2} MRPS vs NightCore {:.2} MRPS",
+        best[0] / 1e6,
+        best[1] / 1e6
+    );
+
+    // Where does the time go? ComposePost (the ~45-75 µs tail of Fig. 10).
+    let rep = RunSpec::new(System::Jord, 0.1e6).requests(4_000, 400).run(&workload);
+    let cp = workload.selected_fn("CP").expect("ComposePost deployed");
+    let fb = &rep.functions[&cp];
+    let (exec, isolation, dispatch) = fb.mean_parts_ns();
+    println!(
+        "\nComposePost breakdown: exec {:.1} us, isolation {:.2} us, dispatch {:.2} us \
+         (service {:.1} us over {} runs)",
+        exec / 1e3,
+        isolation / 1e3,
+        dispatch / 1e3,
+        fb.mean_service_ns() / 1e3,
+        fb.count
+    );
+}
