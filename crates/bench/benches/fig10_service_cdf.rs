@@ -48,7 +48,10 @@ fn main() {
 
     // Full CDF series (downsampled to ~25 points each), for plotting.
     for (kind, hist) in &cdfs {
-        header(&format!("Figure 10 series: {} (service_us, cdf)", kind.name()));
+        header(&format!(
+            "Figure 10 series: {} (service_us, cdf)",
+            kind.name()
+        ));
         let pts = hist.cdf_points();
         let step = (pts.len() / 25).max(1);
         for (i, (d, f)) in pts.iter().enumerate() {

@@ -89,11 +89,7 @@ fn main() {
     for (i, (kind, rep)) in per_workload.iter().enumerate() {
         let ovh = rep.overhead_per_request_ns();
         // Share of total service time across all invocations.
-        let total_service: f64 = rep
-            .functions
-            .values()
-            .map(|f| f.service.as_ns_f64())
-            .sum();
+        let total_service: f64 = rep.functions.values().map(|f| f.service.as_ns_f64()).sum();
         let total_ovh: f64 = rep
             .functions
             .values()

@@ -54,7 +54,9 @@ fn vma_mgmt_time(choice: TableChoice) -> f64 {
     let before = p.stats().vma_management_time();
     let mut live = Vec::new();
     for i in 0..2000u64 {
-        let (va, _) = p.mmap(&mut m, core, 256 + (i % 7) * 512, Perm::RW, pd).unwrap();
+        let (va, _) = p
+            .mmap(&mut m, core, 256 + (i % 7) * 512, Perm::RW, pd)
+            .unwrap();
         p.pcopy(&mut m, core, va, pd, pd2, Perm::READ).unwrap();
         live.push(va);
         if live.len() > 40 {

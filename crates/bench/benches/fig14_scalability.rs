@@ -151,7 +151,11 @@ fn main() {
 
 /// Like `dispatch_worst_us`, but the orchestrator scans only `group_size`
 /// executors; `local_only` restricts them to the orchestrator's socket.
-fn dispatch_worst_group_us(machine_cfg: &MachineConfig, group_size: usize, local_only: bool) -> f64 {
+fn dispatch_worst_group_us(
+    machine_cfg: &MachineConfig,
+    group_size: usize,
+    local_only: bool,
+) -> f64 {
     let mut m = Machine::new(machine_cfg.clone());
     let orch = CoreId(0);
     let base = 0x81_0000_0000u64;

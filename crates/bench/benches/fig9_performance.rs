@@ -72,7 +72,11 @@ fn main() {
     let paper = ["Jord 12", "Jord 7", "Jord ~NI*0.7", "Jord 0.9"];
     for (i, (kind, b, _slo)) in summary.iter().enumerate() {
         let ni_ratio = if b[0] > 0.0 { b[1] / b[0] } else { f64::NAN };
-        let nc_ratio = if b[2] > 0.0 { b[1] / b[2] } else { f64::INFINITY };
+        let nc_ratio = if b[2] > 0.0 {
+            b[1] / b[2]
+        } else {
+            f64::INFINITY
+        };
         row(&[
             kind.name().into(),
             format!("{:.2}", b[0]),

@@ -131,6 +131,8 @@ fn main() {
     }
     println!();
     println!("note: FPGA model = identical SRAM/raw-hardware latencies, lower");
-    println!("instruction-execution IPC (ipc_factor {:.1}), per the Table 4 footnote.",
-        MachineConfig::fpga().ipc_factor);
+    println!(
+        "instruction-execution IPC (ipc_factor {:.1}), per the Table 4 footnote.",
+        MachineConfig::fpga().ipc_factor
+    );
 }

@@ -5,21 +5,39 @@ fn main() {
     for kind in WorkloadKind::ALL {
         let w = Workload::build(kind);
         let slo = measure_slo(&w, 0.05e6, 2000);
-        eprintln!("== {} | SLO {:.1} us | inv/req {:.1}", w.name(), slo.as_us_f64(), w.mean_invocations_per_request());
-        for sys in [System::JordNi, System::Jord, System::JordBt, System::NightCore] {
+        eprintln!(
+            "== {} | SLO {:.1} us | inv/req {:.1}",
+            w.name(),
+            slo.as_us_f64(),
+            w.mean_invocations_per_request()
+        );
+        for sys in [
+            System::JordNi,
+            System::Jord,
+            System::JordBt,
+            System::NightCore,
+        ] {
             // coarse sweep
-            let loads: Vec<f64> = [0.1, 0.3, 0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
-                .iter().map(|x| x * 1e6).collect();
+            let loads: Vec<f64> = [
+                0.1, 0.3, 0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0,
+            ]
+            .iter()
+            .map(|x| x * 1e6)
+            .collect();
             let mut line = format!("  {:10}", sys.label());
             let mut best = 0.0f64;
             for &rate in &loads {
                 let rep = runner::RunSpec::new(sys, rate).requests(6000, 600).run(&w);
                 let p99 = rep.p99().unwrap().as_us_f64();
-                line += &format!(" {:.0}:{:.1}", rate/1e6, p99);
-                if p99 <= slo.as_us_f64() { best = best.max(rate); }
-                if p99 > 6.0 * slo.as_us_f64() { break; }
+                line += &format!(" {:.0}:{:.1}", rate / 1e6, p99);
+                if p99 <= slo.as_us_f64() {
+                    best = best.max(rate);
+                }
+                if p99 > 6.0 * slo.as_us_f64() {
+                    break;
+                }
             }
-            eprintln!("{line}  | best {:.2} MRPS", best/1e6);
+            eprintln!("{line}  | best {:.2} MRPS", best / 1e6);
         }
     }
 }

@@ -1,7 +1,83 @@
 //! Runtime configuration and the three evaluated system variants (§5).
 
-use jord_hw::MachineConfig;
-use jord_privlib::{IsolationMode, TableChoice};
+use core::fmt;
+
+use jord_hw::{InjectConfig, MachineConfig};
+use jord_privlib::{IsolationMode, PrivError, TableChoice};
+
+/// A problem detected while validating or booting a runtime configuration.
+///
+/// Typed (like [`jord_hw::Fault`]) so callers can match on the cause
+/// instead of parsing strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The hardware description is invalid.
+    Machine {
+        /// The machine validator's diagnosis.
+        reason: String,
+    },
+    /// No orchestrator cores were requested.
+    NoOrchestrators,
+    /// Orchestrators would occupy every core, leaving no executors.
+    NoExecutorCores {
+        /// Requested orchestrator count.
+        orchestrators: usize,
+        /// Machine core count.
+        cores: usize,
+    },
+    /// The JBSQ bound is zero (nothing could ever be dispatched).
+    ZeroQueueBound,
+    /// The fault-injection rates are not probabilities.
+    Inject {
+        /// The injection validator's diagnosis.
+        reason: String,
+    },
+    /// The recovery policy is malformed.
+    Recovery {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// No functions are deployed in the registry.
+    NoFunctions,
+    /// PrivLib boot or initial VMA allocation failed.
+    Boot(PrivError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Machine { reason } => write!(f, "invalid machine config: {reason}"),
+            ConfigError::NoOrchestrators => write!(f, "need at least one orchestrator"),
+            ConfigError::NoExecutorCores {
+                orchestrators,
+                cores,
+            } => write!(
+                f,
+                "{orchestrators} orchestrators leave no executor cores on a {cores}-core machine"
+            ),
+            ConfigError::ZeroQueueBound => write!(f, "JBSQ bound must be positive"),
+            ConfigError::Inject { reason } => write!(f, "invalid injection config: {reason}"),
+            ConfigError::Recovery { reason } => write!(f, "invalid recovery policy: {reason}"),
+            ConfigError::NoFunctions => write!(f, "no functions deployed"),
+            ConfigError::Boot(e) => write!(f, "runtime boot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Boot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PrivError> for ConfigError {
+    fn from(e: PrivError) -> Self {
+        ConfigError::Boot(e)
+    }
+}
 
 /// The system variants of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +144,77 @@ impl Default for SpillConfig {
     }
 }
 
+/// Fault-handling policy: what the orchestrator does when an invocation
+/// faults, runs past its deadline, or arrives into a saturated queue
+/// (graceful degradation, not collapse).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Failed *external* requests are re-dispatched up to this many times
+    /// (internal failures propagate to the parent instead, which aborts
+    /// and lets its own external ancestor retry the whole tree).
+    pub max_retries: u32,
+    /// First retry delay, µs; doubles per attempt (exponential backoff).
+    pub backoff_base_us: f64,
+    /// Backoff ceiling, µs.
+    pub backoff_cap_us: f64,
+    /// Per-invocation execution deadline, µs (measured from the moment the
+    /// executor starts it). Runaway invocations are killed when they blow
+    /// past it. `None` disables the timeout.
+    pub deadline_us: Option<f64>,
+    /// Admission control: shed an arriving external request when its
+    /// orchestrator's external queue already holds this many. `None`
+    /// disables shedding.
+    pub shed_bound: Option<usize>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_us: 2.0,
+            backoff_cap_us: 64.0,
+            deadline_us: None,
+            shed_bound: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The delay before re-dispatching attempt `attempt + 1`: capped
+    /// exponential backoff.
+    pub fn backoff(&self, attempt: u32) -> jord_sim::SimDuration {
+        let us =
+            (self.backoff_base_us * 2f64.powi(attempt.min(30) as i32)).min(self.backoff_cap_us);
+        jord_sim::SimDuration::from_ns_f64(us * 1_000.0)
+    }
+
+    /// Checks the policy's numeric fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        // Written to also reject NaN in either field.
+        let ordered = self.backoff_base_us >= 0.0 && self.backoff_cap_us >= self.backoff_base_us;
+        if !ordered {
+            return Err(format!(
+                "backoff must satisfy 0 <= base ({}) <= cap ({})",
+                self.backoff_base_us, self.backoff_cap_us
+            ));
+        }
+        if let Some(d) = self.deadline_us {
+            // NaN fails the comparison and lands here too.
+            if d.is_nan() || d <= 0.0 {
+                return Err(format!("deadline_us must be positive, got {d}"));
+            }
+        }
+        if self.shed_bound == Some(0) {
+            return Err("shed_bound of 0 would shed every request".into());
+        }
+        Ok(())
+    }
+}
+
 /// Worker-server runtime parameters.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -93,6 +240,10 @@ pub struct RuntimeConfig {
     /// Cross-server spill of internal requests (`None` = single server,
     /// the §6 evaluation setup).
     pub spill: Option<SpillConfig>,
+    /// Deterministic fault injection (`None` = clean run, the §6 setup).
+    pub inject: Option<InjectConfig>,
+    /// Fault-handling policy (retry / deadline / shed knobs).
+    pub recovery: RecoveryPolicy,
 }
 
 impl RuntimeConfig {
@@ -117,6 +268,8 @@ impl RuntimeConfig {
             scan_work_ns: 1.0,
             pickup_work_ns: 15.0,
             spill: None,
+            inject: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -139,26 +292,52 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables deterministic fault injection.
+    pub fn with_inject(mut self, inject: InjectConfig) -> Self {
+        self.inject = Some(inject);
+        self
+    }
+
+    /// Overrides the fault-handling policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Number of executor threads.
     pub fn executors(&self) -> usize {
         self.machine.cores - self.orchestrators
     }
 
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
-        self.machine.validate()?;
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] detected.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.machine
+            .validate()
+            .map_err(|reason| ConfigError::Machine { reason })?;
         if self.orchestrators == 0 {
-            return Err("need at least one orchestrator".into());
+            return Err(ConfigError::NoOrchestrators);
         }
         if self.orchestrators >= self.machine.cores {
-            return Err(format!(
-                "{} orchestrators leave no executor cores on a {}-core machine",
-                self.orchestrators, self.machine.cores
-            ));
+            return Err(ConfigError::NoExecutorCores {
+                orchestrators: self.orchestrators,
+                cores: self.machine.cores,
+            });
         }
         if self.queue_bound == 0 {
-            return Err("JBSQ bound must be positive".into());
+            return Err(ConfigError::ZeroQueueBound);
         }
+        if let Some(inject) = &self.inject {
+            inject
+                .validate()
+                .map_err(|reason| ConfigError::Inject { reason })?;
+        }
+        self.recovery
+            .validate()
+            .map_err(|reason| ConfigError::Recovery { reason })?;
         Ok(())
     }
 }
@@ -196,12 +375,67 @@ mod tests {
     fn validation_rejects_degenerate_splits() {
         let mut c = RuntimeConfig::jord_32();
         c.orchestrators = 32;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NoExecutorCores {
+                orchestrators: 32,
+                cores: 32
+            })
+        );
         let mut c = RuntimeConfig::jord_32();
         c.orchestrators = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NoOrchestrators));
         let mut c = RuntimeConfig::jord_32();
         c.queue_bound = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroQueueBound));
+    }
+
+    #[test]
+    fn validation_rejects_bad_injection_and_recovery() {
+        let c = RuntimeConfig::jord_32().with_inject(InjectConfig::faults(2.0));
+        assert!(matches!(c.validate(), Err(ConfigError::Inject { .. })));
+        let policy = RecoveryPolicy {
+            shed_bound: Some(0),
+            ..RecoveryPolicy::default()
+        };
+        let c = RuntimeConfig::jord_32().with_recovery(policy);
+        assert!(matches!(c.validate(), Err(ConfigError::Recovery { .. })));
+        let policy = RecoveryPolicy {
+            deadline_us: Some(-1.0),
+            ..RecoveryPolicy::default()
+        };
+        assert!(policy.validate().is_err());
+        let policy = RecoveryPolicy {
+            backoff_cap_us: RecoveryPolicy::default().backoff_base_us / 2.0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(policy.validate().is_err());
+    }
+
+    #[test]
+    fn config_error_implements_error_and_displays() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(ConfigError::NoOrchestrators);
+        let msg = ConfigError::NoExecutorCores {
+            orchestrators: 4,
+            cores: 4,
+        }
+        .to_string();
+        assert!(msg.contains("4 orchestrators"), "{msg}");
+        assert!(ConfigError::ZeroQueueBound.to_string().contains("JBSQ"));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RecoveryPolicy {
+            backoff_base_us: 2.0,
+            backoff_cap_us: 10.0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff(0).as_ns_f64(), 2_000.0);
+        assert_eq!(p.backoff(1).as_ns_f64(), 4_000.0);
+        assert_eq!(p.backoff(2).as_ns_f64(), 8_000.0);
+        assert_eq!(p.backoff(3).as_ns_f64(), 10_000.0, "capped");
+        assert_eq!(p.backoff(30).as_ns_f64(), 10_000.0);
     }
 }

@@ -85,7 +85,11 @@ mod tests {
         // A running segment counts too.
         e.next_free = SimTime::from_ns(100);
         assert_eq!(e.observed_depth(SimTime::ZERO), 4);
-        assert_eq!(e.observed_depth(SimTime::from_ns(100)), 3, "idle again at next_free");
+        assert_eq!(
+            e.observed_depth(SimTime::from_ns(100)),
+            3,
+            "idle again at next_free"
+        );
         assert!(e.has_work());
     }
 }

@@ -237,7 +237,11 @@ mod tests {
         let mut r = FunctionRegistry::new();
         let leaf = r.register(FunctionSpec::new("leaf"));
         let mid = r.register(FunctionSpec::new("mid").call(leaf, 128).call(leaf, 128));
-        let root = r.register(FunctionSpec::new("root").call(mid, 256).call_async(leaf, 64));
+        let root = r.register(
+            FunctionSpec::new("root")
+                .call(mid, 256)
+                .call_async(leaf, 64),
+        );
         assert_eq!(r.invocation_fanout(leaf), 1);
         assert_eq!(r.invocation_fanout(mid), 3);
         assert_eq!(r.invocation_fanout(root), 5);
@@ -246,13 +250,17 @@ mod tests {
 
     #[test]
     fn mean_compute_sums_phases() {
-        let f = FunctionSpec::new("f").compute(100.0, 0.0).compute(200.0, 0.0);
+        let f = FunctionSpec::new("f")
+            .compute(100.0, 0.0)
+            .compute(200.0, 0.0);
         assert!((f.mean_compute_ns() - 300.0).abs() < 1e-9);
     }
 
     #[test]
     fn default_memory_sizes_are_overridable() {
-        let f = FunctionSpec::new("f").stack_bytes(8 << 10).heap_bytes(1 << 20);
+        let f = FunctionSpec::new("f")
+            .stack_bytes(8 << 10)
+            .heap_bytes(1 << 20);
         assert_eq!(f.stack(), 8 << 10);
         assert_eq!(f.heap(), 1 << 20);
     }

@@ -8,6 +8,7 @@
 //! 10/11 analyses consume.
 
 use jord_hw::types::{PdId, Va};
+use jord_hw::InjectionPlan;
 use jord_sim::{SimDuration, SimTime};
 
 use crate::argbuf::ArgBuf;
@@ -48,6 +49,10 @@ pub enum Phase {
     Suspended,
     /// Finished and torn down.
     Done,
+    /// Terminally aborted: a hardware fault, a blown deadline, or a failed
+    /// child killed it. Its PD and memory are already reclaimed; the slab
+    /// entry may linger only while straggler children drain.
+    Faulted,
 }
 
 /// The per-invocation service-time breakdown (Figure 11's categories).
@@ -103,6 +108,18 @@ pub struct Invocation {
     pub temps: Vec<Va>,
     /// Whether PD setup already ran (teardown must mirror it).
     pub pd_active: bool,
+    /// What the fault injector decided for this execution (drawn fresh at
+    /// each start, so retries get independent schedules).
+    pub plan: InjectionPlan,
+    /// Which dispatch attempt this is (0 for the first; only external
+    /// requests are retried).
+    pub attempt: u32,
+    /// Absolute execution deadline (set at start when the recovery policy
+    /// has one); blowing past it aborts the invocation.
+    pub deadline: Option<SimTime>,
+    /// A child invocation faulted; this continuation must abort at its
+    /// next resume instead of running on.
+    pub child_failed: bool,
     /// When the invocation entered its executor queue.
     pub enqueued_at: SimTime,
     /// When the executor first started running it.
@@ -129,6 +146,10 @@ impl Invocation {
             stackheap: 0,
             temps: Vec::new(),
             pd_active: false,
+            plan: InjectionPlan::CLEAN,
+            attempt: 0,
+            deadline: None,
+            child_failed: false,
             enqueued_at: now,
             started_at: now,
             breakdown: Breakdown::default(),

@@ -52,10 +52,10 @@ pub mod server;
 pub mod stats;
 
 pub use argbuf::ArgBuf;
-pub use config::{RuntimeConfig, SpillConfig, SystemVariant};
+pub use config::{ConfigError, RecoveryPolicy, RuntimeConfig, SpillConfig, SystemVariant};
 pub use executor::Executor;
 pub use function::{FuncOp, FunctionId, FunctionRegistry, FunctionSpec};
 pub use invocation::{Invocation, InvocationId};
 pub use orchestrator::Orchestrator;
 pub use server::WorkerServer;
-pub use stats::{FunctionBreakdown, RunReport};
+pub use stats::{FaultStats, FunctionBreakdown, RunReport};

@@ -2,12 +2,12 @@
 //! executors, PrivLib, and the hardware model together (Figures 3 & 4).
 
 use jord_hw::types::{CoreId, PdId, Perm, Va};
-use jord_hw::Machine;
-use jord_privlib::{os, PrivLib};
+use jord_hw::{Csr, Fault, FaultInjector, FaultKind, InjectionPlan, Machine};
+use jord_privlib::{os, PrivError, PrivLib};
 use jord_sim::{EventQueue, Rng, SimDuration, SimTime};
 
 use crate::argbuf::ArgBuf;
-use crate::config::RuntimeConfig;
+use crate::config::{ConfigError, RuntimeConfig};
 use crate::executor::Executor;
 use crate::function::{FuncOp, FunctionId, FunctionRegistry};
 use crate::invocation::{Invocation, InvocationId, InvocationSlab, Origin, Phase};
@@ -25,6 +25,29 @@ enum Event {
     ExecWake(usize),
     /// A spilled internal request finished on a peer worker server (§3.3).
     RemoteComplete(InvocationId),
+    /// A failed external request is re-dispatched after backoff, keeping
+    /// its original arrival time so measured latency stays honest.
+    Retry {
+        /// The function to re-dispatch.
+        func: FunctionId,
+        /// Argument payload size.
+        bytes: u64,
+        /// The original network receipt time.
+        arrival: SimTime,
+        /// Which attempt this dispatch is (first retry = 1).
+        attempt: u32,
+    },
+}
+
+/// Why an invocation is being aborted.
+#[derive(Debug, Clone, Copy)]
+enum AbortCause {
+    /// The protection machinery raised a hardware fault.
+    Fault(FaultKind),
+    /// The invocation blew its execution deadline.
+    Timeout,
+    /// A nested call failed; the parent cannot make progress.
+    ChildFailed,
 }
 
 /// Base of the runtime's shared-memory region (queue lines, inbox lines).
@@ -36,6 +59,10 @@ const FULL_RETRY: SimDuration = SimDuration::from_ns(100);
 const INTERNAL_PUSH_NS: f64 = 8.0;
 /// Executor work to assemble a completion notice.
 const NOTIFY_NS: f64 = 10.0;
+/// A VA no VMA can cover (its codec tag bits are wrong), so a read of it
+/// is guaranteed to walk the table and raise [`Fault::Unmapped`] — the
+/// injector's "wild access".
+const WILD_VA: Va = 0x10;
 
 /// A simulated Jord worker server.
 ///
@@ -54,6 +81,9 @@ pub struct WorkerServer {
     slab: InvocationSlab,
     queue: EventQueue<Event>,
     rng: Rng,
+    /// Deterministic misbehavior planner (its own forked RNG stream, so
+    /// fault schedules do not perturb workload sampling).
+    injector: Option<FaultInjector>,
     report: RunReport,
     /// Admission window: max in-flight external requests per orchestrator.
     admission: usize,
@@ -68,11 +98,11 @@ impl WorkerServer {
     ///
     /// # Errors
     ///
-    /// Returns a description of any configuration problem.
-    pub fn new(cfg: RuntimeConfig, registry: FunctionRegistry) -> Result<Self, String> {
+    /// Returns the [`ConfigError`] describing any configuration problem.
+    pub fn new(cfg: RuntimeConfig, registry: FunctionRegistry) -> Result<Self, ConfigError> {
         cfg.validate()?;
         if registry.is_empty() {
-            return Err("no functions deployed".into());
+            return Err(ConfigError::NoFunctions);
         }
         let mut machine = Machine::new(cfg.machine.clone());
         let (mut privlib, boot_vmas) = os::boot_full(
@@ -80,15 +110,13 @@ impl WorkerServer {
             cfg.variant.table(),
             cfg.variant.isolation(),
             jord_privlib::CostModel::calibrated(),
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
 
         // One code VMA per deployed function.
         let mut code_vmas = Vec::with_capacity(registry.len());
         for (_, _spec) in registry.iter() {
-            let (va, _) = privlib
-                .mmap(&mut machine, CoreId(0), 256 << 10, Perm::RX, PdId::RUNTIME)
-                .map_err(|e| e.to_string())?;
+            let (va, _) =
+                privlib.mmap(&mut machine, CoreId(0), 256 << 10, Perm::RX, PdId::RUNTIME)?;
             code_vmas.push(va);
         }
 
@@ -134,6 +162,12 @@ impl WorkerServer {
 
         let admission = (8 * n_exec / n_orch).max(16);
         let seed = cfg.seed;
+        let mut rng = Rng::new(seed);
+        // The injector gets its own stream: the same seed yields the same
+        // fault schedule no matter how workload sampling evolves.
+        let injector = cfg
+            .inject
+            .map(|ic| FaultInjector::new(ic, rng.fork(0xFA_17)));
         Ok(WorkerServer {
             cfg,
             machine,
@@ -145,7 +179,8 @@ impl WorkerServer {
             execs,
             slab: InvocationSlab::new(),
             queue: EventQueue::new(),
-            rng: Rng::new(seed),
+            rng,
+            injector,
             report: RunReport::new(),
             admission,
             rr_orch: 0,
@@ -181,9 +216,20 @@ impl WorkerServer {
                 Event::OrchWake(i) => self.on_orch_wake(t, i),
                 Event::ExecWake(e) => self.on_exec_wake(t, e),
                 Event::RemoteComplete(id) => self.on_remote_complete(t, id),
+                Event::Retry {
+                    func,
+                    bytes,
+                    arrival,
+                    attempt,
+                } => self.admit(t, func, bytes, arrival, attempt),
             }
         }
         debug_assert!(self.slab.is_empty(), "all invocations must complete");
+        debug_assert_eq!(
+            self.report.offered,
+            self.report.completed + self.report.faults.failed + self.report.faults.sheds,
+            "every request must end Completed, Faulted, or Shed — none lost"
+        );
         let mut report = std::mem::take(&mut self.report);
         for o in &self.orchs {
             report.dispatch_ns.merge(&o.dispatch_ns);
@@ -206,6 +252,12 @@ impl WorkerServer {
     /// The runtime configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.cfg
+    }
+
+    /// Invocation records still live in the slab (0 after a drained run —
+    /// the leak-freedom checks key on this).
+    pub fn live_invocations(&self) -> usize {
+        self.slab.len()
     }
 
     // ------------------------------------------------------------------
@@ -235,14 +287,33 @@ impl WorkerServer {
     // ------------------------------------------------------------------
 
     fn on_arrival(&mut self, t: SimTime, func: FunctionId, bytes: u64) {
+        self.admit(t, func, bytes, t, 0);
+    }
+
+    /// Admission control + enqueue for external requests (fresh arrivals
+    /// and backoff retries alike). When the target orchestrator's external
+    /// queue exceeds the shed bound, the request is dropped at the door —
+    /// graceful degradation instead of unbounded queueing collapse.
+    fn admit(&mut self, t: SimTime, func: FunctionId, bytes: u64, arrival: SimTime, attempt: u32) {
         let orch = self.rr_orch;
         self.rr_orch = (self.rr_orch + 1) % self.orchs.len();
-        let inv = Invocation::new(
+        if let Some(bound) = self.cfg.recovery.shed_bound {
+            if self.orchs[orch].external.len() >= bound {
+                if self.measuring() {
+                    self.report.faults.sheds += 1;
+                } else {
+                    self.report.offered -= 1;
+                }
+                return;
+            }
+        }
+        let mut inv = Invocation::new(
             func,
-            Origin::External { orch, arrival: t },
+            Origin::External { orch, arrival },
             ArgBuf::new(0, bytes.max(64)),
             t,
         );
+        inv.attempt = attempt;
         let id = self.slab.insert(inv);
         self.orchs[orch].external.push_back(id);
         self.wake_orch(orch, t);
@@ -304,17 +375,18 @@ impl WorkerServer {
                 // Every queue at the JBSQ bound. Internal requests that
                 // cannot be served locally may spill to a peer worker
                 // server over the network (§3.3).
-                let spill = self.cfg.spill.filter(|s| {
-                    is_internal && self.orchs[i].internal.len() >= s.backlog_threshold
-                });
+                let spill = self
+                    .cfg
+                    .spill
+                    .filter(|s| is_internal && self.orchs[i].internal.len() >= s.backlog_threshold);
                 if let Some(spill) = spill {
                     // Serialize the ArgBuf onto the wire and schedule the
                     // remote completion: RTT plus the peer's execution of
                     // the whole function tree.
                     let bytes = self.slab.get(inv_id).argbuf.len();
                     cost += self.machine.work(0.1 * bytes as f64 / 10.0);
-                    let remote = self.remote_service_ns(self.slab.get(inv_id).func)
-                        * spill.remote_slowdown;
+                    let remote =
+                        self.remote_service_ns(self.slab.get(inv_id).func) * spill.remote_slowdown;
                     let done = t
                         + cost
                         + SimDuration::from_ns_f64(spill.network_rtt_us * 1_000.0 + remote);
@@ -399,6 +471,22 @@ impl WorkerServer {
             inv.started_at = t;
             (inv.func, inv.argbuf)
         };
+        // Draw this execution's injection schedule (retries draw afresh) and
+        // arm the deadline clock.
+        let ops_len = self.registry.spec(func).ops().len();
+        let plan = match &mut self.injector {
+            Some(inj) => inj.plan(ops_len),
+            None => InjectionPlan::CLEAN,
+        };
+        {
+            let inv = self.slab.get_mut(id);
+            inv.plan = plan;
+            inv.deadline = self
+                .cfg
+                .recovery
+                .deadline_us
+                .map(|us| t + SimDuration::from_ns_f64(us * 1_000.0));
+        }
         let spec_stack = self.registry.spec(func).stack() + self.registry.spec(func).heap();
         let code_va = self.code_vmas[func.0 as usize];
 
@@ -419,15 +507,32 @@ impl WorkerServer {
         // Make the function code accessible to the PD …
         iso += self
             .privlib
-            .pcopy(&mut self.machine, core, code_va, PdId::RUNTIME, pd, Perm::RX)
+            .pcopy(
+                &mut self.machine,
+                core,
+                code_va,
+                PdId::RUNTIME,
+                pd,
+                Perm::RX,
+            )
             .expect("code grant");
         // … and hand over the ArgBuf (zero-copy: one VTE write).
         iso += self
             .privlib
-            .pmove(&mut self.machine, core, argbuf.va(), PdId::RUNTIME, pd, Perm::RW)
+            .pmove(
+                &mut self.machine,
+                core,
+                argbuf.va(),
+                PdId::RUNTIME,
+                pd,
+                Perm::RW,
+            )
             .expect("ArgBuf transfer");
         // Enter the PD.
-        iso += self.privlib.ccall(&mut self.machine, core, pd).expect("ccall");
+        iso += self
+            .privlib
+            .ccall(&mut self.machine, core, pd)
+            .expect("ccall");
         // First touches: every PrivLib API in the setup sequence (cget,
         // mmap, pcopy, pmove, ccall) is a gated control transfer — one
         // PrivLib-code fetch plus one function-code refetch each — followed
@@ -451,6 +556,13 @@ impl WorkerServer {
     }
 
     fn resume(&mut self, t: SimTime, e: usize, id: InvocationId) {
+        // A synchronous child faulted while we were suspended: the failure
+        // propagates — this continuation aborts instead of running on with a
+        // missing result (§ nested-call error propagation).
+        if self.slab.get(id).child_failed {
+            self.abort(t, SimDuration::ZERO, e, id, AbortCause::ChildFailed);
+            return;
+        }
         let core = self.execs[e].core;
         let pd = self.slab.get(id).pd;
         let mut iso = SimDuration::ZERO;
@@ -492,6 +604,24 @@ impl WorkerServer {
                 let inv = self.slab.get(id);
                 (inv.func, inv.pc, inv.pd)
             };
+            // Deadline enforcement: a runaway (or just unlucky) invocation
+            // that blows its budget is killed and torn down like any fault.
+            if let Some(dl) = self.slab.get(id).deadline {
+                if t + acc > dl {
+                    self.abort(t, acc, e, id, AbortCause::Timeout);
+                    return;
+                }
+            }
+            // Scheduled misbehavior: act out the planned bad access on the
+            // real machine. Under full Jord the hardware raises a fault and
+            // we abort; under bypassed isolation (Jord_NI) nothing trips and
+            // the invocation barrels on — the insecurity is the point.
+            if let Some(kind) = self.slab.get(id).plan.faults_at(pc) {
+                if let Some(fault) = self.misbehave(core, pd, func, kind) {
+                    self.abort(t, acc, e, id, AbortCause::Fault(fault.kind()));
+                    return;
+                }
+            }
             let op = self.registry.spec(func).ops().get(pc).cloned();
             match op {
                 None => {
@@ -509,7 +639,14 @@ impl WorkerServer {
                     } else {
                         SimDuration::ZERO
                     };
-                    let d = dist.sample(&mut self.rng);
+                    let mut d = dist.sample(&mut self.rng);
+                    // A planned runaway spins far past its nominal compute
+                    // budget; only the deadline (checked at the next op) can
+                    // reclaim the core.
+                    if self.slab.get(id).plan.runaway {
+                        let factor = self.cfg.inject.map(|i| i.runaway_factor).unwrap_or(1.0);
+                        d = SimDuration::from_ns_f64(d.as_ns_f64() * factor);
+                    }
                     acc += walk + d;
                     let inv = self.slab.get_mut(id);
                     inv.breakdown.isolation += walk;
@@ -695,7 +832,14 @@ impl WorkerServer {
         // Transfer the ArgBuf back, revoke code, free stack/heap, drop PD.
         iso += self
             .privlib
-            .pmove(&mut self.machine, core, argbuf.va(), pd, PdId::RUNTIME, Perm::RW)
+            .pmove(
+                &mut self.machine,
+                core,
+                argbuf.va(),
+                pd,
+                PdId::RUNTIME,
+                Perm::RW,
+            )
             .expect("ArgBuf return");
         iso += self
             .privlib
@@ -709,7 +853,10 @@ impl WorkerServer {
         // Free any leaked temps and unconsumed child buffers.
         let (temps, pending) = {
             let inv = self.slab.get_mut(id);
-            (std::mem::take(&mut inv.temps), std::mem::take(&mut inv.pending_free))
+            (
+                std::mem::take(&mut inv.temps),
+                std::mem::take(&mut inv.pending_free),
+            )
         };
         for va in temps {
             mem += self
@@ -762,27 +909,10 @@ impl WorkerServer {
             Origin::Internal { parent, .. } => {
                 let done = t + acc;
                 // Hand the result buffer to the parent and maybe unblock it.
-                let parent_exec = {
-                    let p = self.slab.get_mut(parent);
-                    p.pending_free.push((argbuf.va(), argbuf.len()));
-                    let unblocked = if p.blocked_on == Some(id) {
-                        p.blocked_on = None;
-                        true
-                    } else {
-                        debug_assert!(p.outstanding > 0);
-                        p.outstanding -= 1;
-                        p.waiting_all && p.outstanding == 0
-                    };
-                    if unblocked {
-                        p.waiting_all = false;
-                        Some(p.executor)
-                    } else {
-                        None
-                    }
-                };
-                if let Some(pe) = parent_exec {
-                    self.execs[pe].ready.push_back(parent);
-                    self.wake_exec(pe, done);
+                let extra = self.deliver_child_result(done, core, parent, id, argbuf, false);
+                if !extra.is_zero() {
+                    acc += extra;
+                    self.slab.get_mut(id).breakdown.exec += extra;
                 }
             }
         }
@@ -827,28 +957,8 @@ impl WorkerServer {
                 unreachable!("only internal requests spill (§3.3)")
             }
             Origin::Internal { parent, .. } => {
-                let parent_exec = {
-                    let p = self.slab.get_mut(parent);
-                    p.pending_free.push((argbuf.va(), argbuf.len()));
-                    let unblocked = if p.blocked_on == Some(id) {
-                        p.blocked_on = None;
-                        true
-                    } else {
-                        debug_assert!(p.outstanding > 0);
-                        p.outstanding -= 1;
-                        p.waiting_all && p.outstanding == 0
-                    };
-                    if unblocked {
-                        p.waiting_all = false;
-                        Some(p.executor)
-                    } else {
-                        None
-                    }
-                };
-                if let Some(pe) = parent_exec {
-                    self.execs[pe].ready.push_back(parent);
-                    self.wake_exec(pe, t);
-                }
+                let core = self.execs[self.slab.get(parent).executor].core;
+                self.deliver_child_result(t, core, parent, id, argbuf, false);
             }
         }
         if self.measuring() {
@@ -860,10 +970,289 @@ impl WorkerServer {
     }
 
     // ------------------------------------------------------------------
+    // Fault containment (§3.1, §4.3; Figure 4 run in reverse)
+    // ------------------------------------------------------------------
+
+    /// Acts out the planned misbehavior of `kind` on the real machine and
+    /// returns the hardware fault it raised — or `None` when the isolation
+    /// variant failed to catch it (Jord_NI lets wild accesses through;
+    /// only the gate decoder and CSR checks are always armed).
+    fn misbehave(
+        &mut self,
+        core: CoreId,
+        pd: PdId,
+        func: FunctionId,
+        kind: FaultKind,
+    ) -> Option<Fault> {
+        let result: Result<(), PrivError> = match kind {
+            // A stray pointer dereference: VA 0x10 carries no valid VMA
+            // tag, so the walk cannot even decode it.
+            FaultKind::Unmapped => self
+                .privlib
+                .access(&mut self.machine, core, pd, WILD_VA, Perm::READ)
+                .map(|_| ()),
+            // A store through the function's own code VMA (held RX).
+            FaultKind::Permission => {
+                let code_va = self.code_vmas[func.0 as usize];
+                self.privlib
+                    .access(&mut self.machine, core, pd, code_va, Perm::WRITE)
+                    .map(|_| ())
+            }
+            // A data read of PrivLib's P-bit code from unprivileged code.
+            FaultKind::Privilege => {
+                let privlib_code = self.privlib_code;
+                self.privlib
+                    .access(&mut self.machine, core, pd, privlib_code, Perm::READ)
+                    .map(|_| ())
+            }
+            // A jump past the `uatg` gate into privileged code.
+            FaultKind::MissingGate => self
+                .privlib
+                .try_enter(&self.machine, core, false)
+                .map(|_| ()),
+            // An unprivileged `csrr` of uatp (a read, so the machine state
+            // cannot be corrupted even if it slipped through).
+            FaultKind::CsrAccess => self
+                .machine
+                .csr_read(core, Csr::Uatp, false)
+                .map(|_| ())
+                .map_err(PrivError::from),
+        };
+        match result {
+            Err(PrivError::Fault(fault)) => Some(fault),
+            Ok(()) => None, // isolation bypassed: misbehavior undetected
+            Err(e) => panic!("misbehavior raised a non-fault error: {e}"),
+        }
+    }
+
+    /// Figure 4's teardown run from the middle of a segment: the fault
+    /// handler traps to PrivLib, which evicts the continuation, returns the
+    /// ArgBuf, revokes the code grant, reclaims the stack/heap plus every
+    /// temp and unconsumed child buffer, and destroys the PD. Nothing the
+    /// invocation ever held survives (zero leakage).
+    fn abort(
+        &mut self,
+        t: SimTime,
+        offset: SimDuration,
+        e: usize,
+        id: InvocationId,
+        cause: AbortCause,
+    ) {
+        let core = self.execs[e].core;
+        let mut acc = offset;
+        if self.measuring() {
+            self.report.faults.aborted += 1;
+            match cause {
+                AbortCause::Fault(kind) => self.report.faults.count(kind),
+                AbortCause::Timeout => self.report.faults.timeouts += 1,
+                AbortCause::ChildFailed => {}
+            }
+        }
+
+        let (pd, argbuf, stackheap, func, origin) = {
+            let inv = self.slab.get(id);
+            (inv.pd, inv.argbuf, inv.stackheap, inv.func, inv.origin)
+        };
+        let code_va = self.code_vmas[func.0 as usize];
+        let mut iso = SimDuration::ZERO;
+        let mut mem = SimDuration::ZERO;
+
+        // Trap, evict, and tear down: the fault handler's trip through
+        // PrivLib plus the same reclamation sequence `finish` runs.
+        for _ in 0..3 {
+            iso += self.privlib_round_trip(core, pd, code_va);
+        }
+        iso += self.privlib.cexit(&mut self.machine, core);
+        iso += self
+            .privlib
+            .pmove(
+                &mut self.machine,
+                core,
+                argbuf.va(),
+                pd,
+                PdId::RUNTIME,
+                Perm::RW,
+            )
+            .expect("ArgBuf reclaim");
+        iso += self
+            .privlib
+            .mprotect(&mut self.machine, core, code_va, Perm::NONE, pd)
+            .expect("code revoke");
+        if stackheap != 0 {
+            mem += self
+                .privlib
+                .munmap(&mut self.machine, core, stackheap, PdId::RUNTIME)
+                .expect("stack/heap reclaim");
+        }
+        let (temps, pending) = {
+            let inv = self.slab.get_mut(id);
+            (
+                std::mem::take(&mut inv.temps),
+                std::mem::take(&mut inv.pending_free),
+            )
+        };
+        for va in temps {
+            mem += self
+                .privlib
+                .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                .expect("temp reclaim");
+        }
+        for (va, _) in pending {
+            mem += self
+                .privlib
+                .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                .expect("child ArgBuf reclaim");
+        }
+        iso += self
+            .privlib
+            .cput(&mut self.machine, core, pd)
+            .expect("PD destroy on abort");
+        // External request buffers are owned by this worker; internal ones
+        // travel back to the parent (freed there, or below if it is gone).
+        if matches!(origin, Origin::External { .. }) {
+            mem += self
+                .privlib
+                .munmap(&mut self.machine, core, argbuf.va(), PdId::RUNTIME)
+                .expect("request ArgBuf reclaim");
+        }
+        acc += iso + mem;
+
+        let done = t + acc;
+        let drained = {
+            let inv = self.slab.get_mut(id);
+            inv.phase = Phase::Faulted;
+            inv.pd_active = false;
+            inv.breakdown.isolation += iso;
+            inv.breakdown.exec += mem;
+            inv.outstanding == 0 && inv.blocked_on.is_none()
+        };
+        self.execs[e].next_free = done;
+        if drained {
+            self.conclude_failure(done, core, id);
+        }
+        // else: a zombie — straggler children still reference this slot;
+        // the last one to report concludes the failure.
+    }
+
+    /// Settles a terminally aborted invocation once no child references it:
+    /// external requests retry (with capped exponential backoff) or count
+    /// as failed; internal ones propagate the failure to their parent.
+    fn conclude_failure(&mut self, t: SimTime, core: CoreId, id: InvocationId) {
+        let inv = self.slab.remove(id);
+        match inv.origin {
+            Origin::External { orch, arrival } => {
+                self.orchs[orch].in_flight -= 1;
+                if inv.attempt < self.cfg.recovery.max_retries {
+                    if self.measuring() {
+                        self.report.faults.retries += 1;
+                    }
+                    let at = t + self.cfg.recovery.backoff(inv.attempt);
+                    self.queue.push(
+                        at,
+                        Event::Retry {
+                            func: inv.func,
+                            bytes: inv.argbuf.len(),
+                            arrival,
+                            attempt: inv.attempt + 1,
+                        },
+                    );
+                } else if self.measuring() {
+                    self.report.faults.failed += 1;
+                } else {
+                    // Warmup symmetry: an unmeasured terminal failure slides
+                    // the warmup window exactly like an unmeasured success.
+                    self.warmed += 1;
+                    self.report.offered -= 1;
+                }
+                if self.orchs[orch].has_work() {
+                    self.wake_orch(orch, t);
+                }
+            }
+            Origin::Internal { parent, .. } => {
+                self.deliver_child_result(t, core, parent, id, inv.argbuf, true);
+            }
+        }
+    }
+
+    /// Hands a finished (or faulted) child's ArgBuf to its parent and
+    /// updates the parent's join state; wakes the parent when unblocked.
+    /// If the parent is itself a faulted zombie, the buffer is freed on the
+    /// spot and, once the last straggler reports, the parent's failure is
+    /// concluded. Returns any runtime work performed here (the zombie-path
+    /// munmap), charged to the caller.
+    fn deliver_child_result(
+        &mut self,
+        t: SimTime,
+        core: CoreId,
+        parent: InvocationId,
+        child: InvocationId,
+        argbuf: ArgBuf,
+        child_faulted: bool,
+    ) -> SimDuration {
+        let zombie = self.slab.get(parent).phase == Phase::Faulted;
+        let mut cost = SimDuration::ZERO;
+        if zombie {
+            cost += self
+                .privlib
+                .munmap(&mut self.machine, core, argbuf.va(), PdId::RUNTIME)
+                .expect("straggler ArgBuf reclaim");
+        } else {
+            let p = self.slab.get_mut(parent);
+            p.pending_free.push((argbuf.va(), argbuf.len()));
+            if child_faulted {
+                p.child_failed = true;
+            }
+        }
+        let (unblocked, pe) = {
+            let p = self.slab.get_mut(parent);
+            let unblocked = if p.blocked_on == Some(child) {
+                p.blocked_on = None;
+                true
+            } else {
+                debug_assert!(p.outstanding > 0);
+                p.outstanding -= 1;
+                p.waiting_all && p.outstanding == 0
+            };
+            if unblocked {
+                p.waiting_all = false;
+            }
+            (unblocked, p.executor)
+        };
+        if unblocked && !zombie {
+            self.execs[pe].ready.push_back(parent);
+            self.wake_exec(pe, t);
+        }
+        if zombie {
+            let drained = {
+                let p = self.slab.get(parent);
+                p.outstanding == 0 && p.blocked_on.is_none()
+            };
+            if drained {
+                self.conclude_failure(t, core, parent);
+            }
+        }
+        cost
+    }
+
+    /// Rolls the injector's VLB-glitch die: a spurious invalidation flushes
+    /// both VLBs of `core`, and the cost emerges downstream as re-walks.
+    fn maybe_glitch(&mut self, core: CoreId) {
+        if let Some(inj) = &mut self.injector {
+            if inj.glitch() {
+                self.machine.vlb_flush(core);
+                if self.warmed >= self.warmup {
+                    self.report.faults.glitches += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Translation helpers
     // ------------------------------------------------------------------
 
     fn translate_access(&mut self, core: CoreId, pd: PdId, va: Va, perm: Perm) -> SimDuration {
+        self.maybe_glitch(core);
         self.privlib
             .access(&mut self.machine, core, pd, va, perm)
             .expect("runtime-issued access is always legal")
@@ -892,6 +1281,7 @@ impl WorkerServer {
     }
 
     fn translate_fetch(&mut self, core: CoreId, pd: PdId, va: Va) -> SimDuration {
+        self.maybe_glitch(core);
         self.privlib
             .fetch(&mut self.machine, core, pd, va)
             .expect("runtime-issued fetch is always legal")
@@ -956,9 +1346,8 @@ mod tests {
     #[test]
     fn nested_sync_call_completes_and_counts_two_invocations() {
         let mut r = FunctionRegistry::new();
-        let leaf = r.register(
-            FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(500.0))),
-        );
+        let leaf =
+            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(500.0))));
         let root = r.register(
             FunctionSpec::new("root")
                 .op(FuncOp::Compute(TimeDist::fixed(300.0)))
@@ -995,7 +1384,10 @@ mod tests {
         assert_eq!(report.invocations, 4);
         // Async children overlap: root service ≪ 3 × 2 µs + overheads.
         let root_ns = report.functions[&root].mean_service_ns();
-        assert!(root_ns < 5_500.0, "async fan-out must overlap, got {root_ns} ns");
+        assert!(
+            root_ns < 5_500.0,
+            "async fan-out must overlap, got {root_ns} ns"
+        );
         assert!(root_ns > 2_000.0);
     }
 
@@ -1072,7 +1464,11 @@ mod tests {
                 s.push_request(SimTime::from_ns(i * 777), f, 256);
             }
             let rep = s.run();
-            (rep.latency.quantile(0.5), rep.latency.max(), rep.finished_at)
+            (
+                rep.latency.quantile(0.5),
+                rep.latency.max(),
+                rep.finished_at,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -1138,6 +1534,329 @@ mod tests {
         let p99 = rep.p99().unwrap();
         let p50 = rep.latency.quantile(0.5).unwrap();
         assert!(p99 > p50, "overload must show queueing tail");
-        assert!(p99.as_us_f64() > 50.0, "p99 {p99} should reflect heavy queueing");
+        assert!(
+            p99.as_us_f64() > 50.0,
+            "p99 {p99} should reflect heavy queueing"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection + containment
+    // ------------------------------------------------------------------
+
+    use crate::config::RecoveryPolicy;
+    use jord_hw::InjectConfig;
+
+    /// Every request must end Completed, Faulted, or Shed — none lost —
+    /// and a drained server must hold no invocation, PD, or VMA it did
+    /// not hold before the run.
+    fn assert_contained(s: &WorkerServer, rep: &RunReport, vmas: usize, pds: usize) {
+        assert_eq!(
+            rep.offered,
+            rep.completed + rep.faults.failed + rep.faults.sheds,
+            "request accounting must balance: {rep:?}"
+        );
+        assert_eq!(s.live_invocations(), 0, "slab must drain");
+        assert_eq!(
+            s.privlib().live_vmas(),
+            vmas,
+            "VMAs must return to baseline"
+        );
+        assert_eq!(s.privlib().live_pds(), pds, "PDs must return to baseline");
+    }
+
+    #[test]
+    fn injected_faults_reduce_goodput_but_lose_nothing() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32()
+            .with_inject(InjectConfig::faults(0.05))
+            .with_recovery(RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..2_000u64 {
+            s.push_request(SimTime::from_ns(i * 900), f, 256);
+        }
+        let rep = s.run();
+        assert!(rep.faults.failed > 0, "5% fault rate must fail something");
+        assert!(
+            rep.completed < rep.offered,
+            "goodput must fall below throughput under injection"
+        );
+        assert!(rep.goodput() < 1.0 && rep.goodput() > 0.8);
+        assert!(rep.faults.total_faults() > 0);
+        assert_eq!(rep.faults.aborted, rep.faults.total_faults());
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn retries_recover_transient_faults() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32()
+            .with_inject(InjectConfig::faults(0.02))
+            .with_recovery(RecoveryPolicy {
+                max_retries: 5,
+                ..RecoveryPolicy::default()
+            });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..1_000u64 {
+            s.push_request(SimTime::from_ns(i * 900), f, 256);
+        }
+        let rep = s.run();
+        assert!(rep.faults.retries > 0, "2% fault rate must trigger retries");
+        assert_eq!(
+            rep.faults.failed, 0,
+            "independent retry draws at 2% cannot exhaust 5 attempts"
+        );
+        assert_eq!(rep.completed, rep.offered);
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn deadline_kills_runaways() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32()
+            .with_inject(InjectConfig {
+                runaway_rate: 0.1,
+                runaway_factor: 1_000.0,
+                ..InjectConfig::default()
+            })
+            .with_recovery(RecoveryPolicy {
+                max_retries: 0,
+                deadline_us: Some(50.0),
+                ..RecoveryPolicy::default()
+            });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..500u64 {
+            s.push_request(SimTime::from_ns(i * 2_000), f, 256);
+        }
+        let rep = s.run();
+        assert!(
+            rep.faults.timeouts > 0,
+            "10% runaways must blow the 50 µs deadline"
+        );
+        assert_eq!(rep.faults.failed, rep.faults.timeouts);
+        // A 1 ms spin with no deadline would dominate the run; with one the
+        // run finishes within a sane horizon.
+        assert!(rep.finished_at.as_us_f64() < 5_000.0);
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn admission_control_sheds_overload() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32().with_recovery(RecoveryPolicy {
+            shed_bound: Some(32),
+            ..RecoveryPolicy::default()
+        });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        // 10 k requests all at once: far beyond the shed bound.
+        for i in 0..10_000u64 {
+            s.push_request(SimTime::from_ps(i), f, 128);
+        }
+        let rep = s.run();
+        assert!(rep.faults.sheds > 0, "burst must overflow the shed bound");
+        assert!(rep.completed > 0, "admitted work still completes");
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn chaos_same_seed_same_report() {
+        let run = || {
+            let mut r = FunctionRegistry::new();
+            let leaf =
+                r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(500.0))));
+            let root = r.register(
+                FunctionSpec::new("root")
+                    .op(FuncOp::ReadInput)
+                    .call_async(leaf, 128)
+                    .call(leaf, 128)
+                    .op(FuncOp::WaitAll)
+                    .op(FuncOp::WriteOutput),
+            );
+            let cfg = RuntimeConfig::jord_32()
+                .with_inject(InjectConfig {
+                    fault_rate: 0.03,
+                    runaway_rate: 0.01,
+                    runaway_factor: 20.0,
+                    vlb_glitch_rate: 0.001,
+                })
+                .with_recovery(RecoveryPolicy {
+                    max_retries: 2,
+                    deadline_us: Some(500.0),
+                    shed_bound: Some(256),
+                    ..RecoveryPolicy::default()
+                });
+            let mut s = WorkerServer::new(cfg, r).unwrap();
+            let mut rng = Rng::new(11);
+            let mut t = SimTime::ZERO;
+            for _ in 0..800 {
+                t += SimDuration::from_ns_f64(rng.exponential(1_500.0));
+                s.push_request(t, root, 512);
+            }
+            let rep = s.run();
+            (
+                rep.faults,
+                rep.completed,
+                rep.invocations,
+                rep.latency.quantile(0.5),
+                rep.latency.max(),
+                rep.finished_at,
+            )
+        };
+        let a = run();
+        assert!(a.0.total_faults() > 0, "chaos run must raise faults");
+        assert_eq!(a, run(), "same seed must give a bit-identical report");
+    }
+
+    #[test]
+    fn chaos_nested_trees_contain_faults_without_leaks() {
+        // Nested sync + async calls under aggressive injection: child
+        // failures propagate to parents, aborted parents drain straggler
+        // children (zombies), and nothing leaks.
+        let mut r = FunctionRegistry::new();
+        let leaf =
+            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(400.0))));
+        let mid = r.register(
+            FunctionSpec::new("mid")
+                .op(FuncOp::MmapTemp { bytes: 8192 })
+                .call(leaf, 128)
+                .op(FuncOp::MunmapTemp),
+        );
+        let root = r.register(
+            FunctionSpec::new("root")
+                .op(FuncOp::ReadInput)
+                .call_async(leaf, 128)
+                .call_async(mid, 128)
+                .call(mid, 128)
+                .op(FuncOp::WaitAll)
+                .op(FuncOp::WriteOutput),
+        );
+        let cfg = RuntimeConfig::jord_32()
+            .with_inject(InjectConfig::faults(0.08))
+            .with_recovery(RecoveryPolicy {
+                max_retries: 1,
+                ..RecoveryPolicy::default()
+            });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..600u64 {
+            s.push_request(SimTime::from_ns(i * 3_000), root, 256);
+        }
+        let rep = s.run();
+        assert!(rep.faults.total_faults() > 0);
+        assert!(
+            rep.faults.failed > 0,
+            "8% per invocation over 5-node trees must fail some"
+        );
+        assert!(rep.completed > 0, "most trees still complete");
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn chaos_at_acceptance_rate_stays_graceful() {
+        // The acceptance bar: fault rate 1e-3 must barely dent goodput.
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32()
+            .with_inject(InjectConfig::faults(1e-3))
+            .with_recovery(RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..5_000u64 {
+            s.push_request(SimTime::from_ns(i * 800), f, 256);
+        }
+        let rep = s.run();
+        assert!(rep.goodput() > 0.99, "goodput {} at 1e-3", rep.goodput());
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn bypassed_isolation_misses_memory_faults() {
+        // Jord_NI has no VMA permission enforcement: wild, permission, and
+        // privilege misbehavior sails through undetected. Only the gate
+        // decoder and CSR privilege checks (machine-level) still trip.
+        let run = |variant| {
+            let (r, f) = registry_leaf();
+            let cfg = RuntimeConfig::variant_on(variant, jord_hw::MachineConfig::isca25())
+                .with_inject(InjectConfig::faults(0.1))
+                .with_recovery(RecoveryPolicy {
+                    max_retries: 0,
+                    ..RecoveryPolicy::default()
+                });
+            let mut s = WorkerServer::new(cfg, r).unwrap();
+            for i in 0..2_000u64 {
+                s.push_request(SimTime::from_ns(i * 900), f, 256);
+            }
+            s.run().faults
+        };
+        let full = run(SystemVariant::Jord);
+        let ni = run(SystemVariant::JordNi);
+        for kind in [
+            FaultKind::Unmapped,
+            FaultKind::Permission,
+            FaultKind::Privilege,
+        ] {
+            assert!(full.of_kind(kind) > 0, "full isolation catches {kind}");
+            assert_eq!(ni.of_kind(kind), 0, "NI must miss {kind}");
+        }
+        assert!(
+            ni.of_kind(FaultKind::MissingGate) > 0,
+            "uatg decode is hardware"
+        );
+        assert!(
+            ni.of_kind(FaultKind::CsrAccess) > 0,
+            "CSR privilege is hardware"
+        );
+        assert!(ni.total_faults() < full.total_faults());
+    }
+
+    #[test]
+    fn vlb_glitches_cost_translations_but_complete() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32().with_inject(InjectConfig {
+            vlb_glitch_rate: 0.01,
+            ..InjectConfig::default()
+        });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        for i in 0..1_000u64 {
+            s.push_request(SimTime::from_ns(i * 900), f, 256);
+        }
+        let rep = s.run();
+        assert!(rep.faults.glitches > 0, "1% glitch rate must fire");
+        assert_eq!(
+            rep.completed, rep.offered,
+            "glitches cost time, not requests"
+        );
+        assert_eq!(rep.faults.total_faults(), 0);
+    }
+
+    #[test]
+    fn warmup_discards_early_failures_symmetrically() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32()
+            .with_inject(InjectConfig::faults(0.05))
+            .with_recovery(RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        s.set_warmup(200);
+        for i in 0..2_000u64 {
+            s.push_request(SimTime::from_ns(i * 900), f, 256);
+        }
+        let rep = s.run();
+        assert!(rep.offered < 2_000, "warmup must discount early requests");
+        assert_eq!(
+            rep.offered,
+            rep.completed + rep.faults.failed + rep.faults.sheds
+        );
     }
 }

@@ -3,10 +3,49 @@
 
 use std::collections::HashMap;
 
+use jord_hw::FaultKind;
 use jord_sim::{LatencyHistogram, OnlineStats, SimDuration, SimTime};
 
 use crate::function::FunctionId;
 use crate::invocation::Breakdown;
+
+/// Fault-handling counters: what went wrong and what the runtime did about
+/// it. `PartialEq` so determinism tests can compare whole schedules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Hardware faults raised, indexed by [`FaultKind::index`].
+    pub by_kind: [u64; 5],
+    /// Spurious VLB glitches injected (cold-translation events, not
+    /// faults; their cost shows up as extra VTW walks).
+    pub glitches: u64,
+    /// Invocations aborted (fault, timeout, or failed child).
+    pub aborted: u64,
+    /// Invocations killed by the per-invocation deadline.
+    pub timeouts: u64,
+    /// External requests re-dispatched after a failure.
+    pub retries: u64,
+    /// External requests shed at admission (queue over the shed bound).
+    pub sheds: u64,
+    /// External requests terminally failed (retries exhausted).
+    pub failed: u64,
+}
+
+impl FaultStats {
+    /// Records one raised hardware fault.
+    pub fn count(&mut self, kind: FaultKind) {
+        self.by_kind[kind.index()] += 1;
+    }
+
+    /// Hardware faults raised, of `kind`.
+    pub fn of_kind(&self, kind: FaultKind) -> u64 {
+        self.by_kind[kind.index()]
+    }
+
+    /// Total hardware faults raised across all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.by_kind.iter().sum()
+    }
+}
 
 /// Accumulated per-function service statistics (Figure 11's bars).
 #[derive(Debug, Clone, Default)]
@@ -80,6 +119,10 @@ pub struct RunReport {
     pub invocations: u64,
     /// Internal requests spilled to peer worker servers (§3.3).
     pub spilled: u64,
+    /// Fault, retry, timeout, and shed counters. The accounting invariant
+    /// is `offered == completed + faults.failed + faults.sheds`: every
+    /// request ends Completed, Faulted, or Shed — none are lost.
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -96,7 +139,17 @@ impl RunReport {
             finished_at: SimTime::ZERO,
             invocations: 0,
             spilled: 0,
+            faults: FaultStats::default(),
         }
+    }
+
+    /// Goodput: the fraction of offered requests that completed
+    /// successfully (1.0 on a clean run, lower under injection).
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
     }
 
     /// Records a completed invocation's service time and breakdown.
@@ -187,7 +240,32 @@ mod tests {
         let r = RunReport::new();
         assert_eq!(r.p99(), None);
         assert_eq!(r.overhead_per_request_ns(), 0.0);
+        assert_eq!(r.goodput(), 1.0);
+        assert_eq!(r.faults, FaultStats::default());
         assert_eq!(FunctionBreakdown::default().mean_service_ns(), 0.0);
         assert_eq!(FunctionBreakdown::default().overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_stats_count_by_kind() {
+        let mut s = FaultStats::default();
+        s.count(FaultKind::Unmapped);
+        s.count(FaultKind::Unmapped);
+        s.count(FaultKind::CsrAccess);
+        assert_eq!(s.of_kind(FaultKind::Unmapped), 2);
+        assert_eq!(s.of_kind(FaultKind::Permission), 0);
+        assert_eq!(s.of_kind(FaultKind::CsrAccess), 1);
+        assert_eq!(s.total_faults(), 3);
+    }
+
+    #[test]
+    fn goodput_reflects_losses() {
+        let mut r = RunReport::new();
+        r.offered = 10;
+        r.completed = 7;
+        r.faults.failed = 2;
+        r.faults.sheds = 1;
+        assert!((r.goodput() - 0.7).abs() < 1e-12);
+        assert_eq!(r.offered, r.completed + r.faults.failed + r.faults.sheds);
     }
 }

@@ -1,0 +1,208 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the [`criterion`] crate,
+//! implementing exactly the API surface this workspace's benches use:
+//! [`Criterion`] with `sample_size`/`measurement_time`/`warm_up_time`,
+//! `bench_function`, `benchmark_group`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched_ref`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Unlike real Criterion there is no statistical analysis, outlier
+//! rejection, or HTML report: each benchmark runs a short warm-up, then
+//! wall-clock-times `sample_size × per-sample iterations` and prints the
+//! mean time per iteration. That is enough to exercise the bench code
+//! paths and give order-of-magnitude numbers in an offline environment.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// How setup output is amortized in `iter_batched*`; the shim treats all
+/// variants identically (fresh setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Larger per-iteration state.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// The benchmark driver: holds the sampling configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            config: self.clone(),
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter", b.result_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a printed heading.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.parent.bench_function(&format!("  {name}"), f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter*` does the timing.
+pub struct Bencher {
+    config: Criterion,
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Budget per measured sample.
+    fn per_sample(&self) -> Duration {
+        self.config.measurement_time / self.config.sample_size.max(1) as u32
+    }
+
+    /// Times `routine`, autoscaling iteration count to the sample budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, and calibrate how many iterations fit in one sample.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.per_sample().as_secs_f64();
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            count += iters;
+        }
+        self.result_ns = total.as_secs_f64() * 1e9 / count.max(1) as f64;
+    }
+
+    /// Like [`Bencher::iter`], but with a fresh `setup` value per iteration,
+    /// passed by mutable reference; setup time is excluded from the measure.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let mut input = setup();
+            std::hint::black_box(routine(&mut input));
+        }
+
+        // Iteration count per sample is bounded, not calibrated: setup cost
+        // is unknown and excluded, so a time budget could over-run badly.
+        let iters: u64 = 64;
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        for _ in 0..self.config.sample_size {
+            for _ in 0..iters {
+                let mut input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(&mut input));
+                total += start.elapsed();
+                count += 1;
+            }
+        }
+        self.result_ns = total.as_secs_f64() * 1e9 / count.max(1) as f64;
+    }
+}
+
+/// Declares a benchmark group function, matching real Criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

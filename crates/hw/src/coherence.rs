@@ -79,9 +79,7 @@ impl CoherenceModel {
         match self.lines.get(&line.0) {
             None => CoreSet::empty(),
             Some(LineState::Shared(s)) => *s,
-            Some(LineState::Exclusive(c)) | Some(LineState::Modified(c)) => {
-                CoreSet::singleton(*c)
-            }
+            Some(LineState::Exclusive(c)) | Some(LineState::Modified(c)) => CoreSet::singleton(*c),
         }
     }
 
@@ -268,8 +266,15 @@ mod tests {
         let line = LineAddr(100);
         let cold = m.read_line(&noc, CoreId(0), line);
         let warm = m.read_line(&noc, CoreId(0), line);
-        assert!(cold.as_ns_f64() >= 90.0, "cold read {cold} must include DRAM");
-        assert_eq!(warm, SimDuration::from_ps(500), "warm read is a 2-cycle L1 hit");
+        assert!(
+            cold.as_ns_f64() >= 90.0,
+            "cold read {cold} must include DRAM"
+        );
+        assert_eq!(
+            warm,
+            SimDuration::from_ps(500),
+            "warm read is a 2-cycle L1 hit"
+        );
         assert_eq!(m.stats().dram_fills, 1);
         assert_eq!(m.stats().l1_hits, 1);
     }

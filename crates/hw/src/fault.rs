@@ -52,15 +52,26 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::Unmapped { va } => write!(f, "translation fault: unmapped va {va:#x}"),
-            Fault::Permission { va, pd, needed, held } => write!(
+            Fault::Permission {
+                va,
+                pd,
+                needed,
+                held,
+            } => write!(
                 f,
                 "permission fault: {pd} needs {needed} but holds {held} at va {va:#x}"
             ),
             Fault::Privilege { va } => {
-                write!(f, "privilege fault: unprivileged access to privileged va {va:#x}")
+                write!(
+                    f,
+                    "privilege fault: unprivileged access to privileged va {va:#x}"
+                )
             }
             Fault::MissingGate { va } => {
-                write!(f, "illegal instruction: privileged entry without uatg at {va:#x}")
+                write!(
+                    f,
+                    "illegal instruction: privileged entry without uatg at {va:#x}"
+                )
             }
             Fault::CsrAccess { csr } => {
                 write!(f, "illegal instruction: unprivileged access to csr {csr}")
@@ -70,6 +81,73 @@ impl fmt::Display for Fault {
 }
 
 impl std::error::Error for Fault {}
+
+/// The discriminant of a [`Fault`], for counters and injection plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// [`Fault::Unmapped`].
+    Unmapped,
+    /// [`Fault::Permission`].
+    Permission,
+    /// [`Fault::Privilege`].
+    Privilege,
+    /// [`Fault::MissingGate`].
+    MissingGate,
+    /// [`Fault::CsrAccess`].
+    CsrAccess,
+}
+
+impl FaultKind {
+    /// Every kind, in counter-index order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Unmapped,
+        FaultKind::Permission,
+        FaultKind::Privilege,
+        FaultKind::MissingGate,
+        FaultKind::CsrAccess,
+    ];
+
+    /// A stable dense index (the position in [`FaultKind::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::Unmapped => 0,
+            FaultKind::Permission => 1,
+            FaultKind::Privilege => 2,
+            FaultKind::MissingGate => 3,
+            FaultKind::CsrAccess => 4,
+        }
+    }
+
+    /// Short human-readable label (used in reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Unmapped => "unmapped",
+            FaultKind::Permission => "permission",
+            FaultKind::Privilege => "privilege",
+            FaultKind::MissingGate => "missing-gate",
+            FaultKind::CsrAccess => "csr-access",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Fault {
+    /// This fault's [`FaultKind`] discriminant.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            Fault::Unmapped { .. } => FaultKind::Unmapped,
+            Fault::Permission { .. } => FaultKind::Permission,
+            Fault::Privilege { .. } => FaultKind::Privilege,
+            Fault::MissingGate { .. } => FaultKind::MissingGate,
+            Fault::CsrAccess { .. } => FaultKind::CsrAccess,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -95,6 +173,26 @@ mod tests {
         for (fault, needle) in cases {
             let s = fault.to_string();
             assert!(s.contains(needle), "{s} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn kind_matches_variant_and_indexes_densely() {
+        let faults = [
+            Fault::Unmapped { va: 1 },
+            Fault::Permission {
+                va: 2,
+                pd: PdId(1),
+                needed: Perm::WRITE,
+                held: Perm::READ,
+            },
+            Fault::Privilege { va: 3 },
+            Fault::MissingGate { va: 4 },
+            Fault::CsrAccess { csr: "uatp" },
+        ];
+        for (i, fault) in faults.iter().enumerate() {
+            assert_eq!(fault.kind(), FaultKind::ALL[i]);
+            assert_eq!(fault.kind().index(), i);
         }
     }
 

@@ -1,0 +1,258 @@
+//! Deterministic fault injection.
+//!
+//! The paper's isolation story (§3.1, §4.3) is that Jord *generates
+//! hardware faults* when untrusted code misbehaves. This module supplies
+//! the misbehavior: a [`FaultInjector`], driven by a forked stream of the
+//! seeded simulation RNG, decides per invocation whether (and where) the
+//! function will do something illegal, and per memory access whether a
+//! spurious VLB glitch flushes a core's translation caches.
+//!
+//! The injector never fabricates a [`Fault`](crate::Fault) value itself.
+//! It only *plans* misbehavior; the runtime acts the plan out — issuing a
+//! wild access, a write to read-only code, an ungated privileged entry —
+//! and the ordinary translate/protection machinery raises the fault, so
+//! injection exercises exactly the paths real faults would take.
+
+use jord_sim::Rng;
+
+use crate::fault::FaultKind;
+
+/// Injection rates; all default to zero (no injection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectConfig {
+    /// Per-invocation probability that the function misbehaves once,
+    /// raising a hardware fault mid-segment.
+    pub fault_rate: f64,
+    /// Per-invocation probability that the function "runs away": its
+    /// compute phases stretch by [`runaway_factor`](Self::runaway_factor),
+    /// so only a deadline can stop it.
+    pub runaway_rate: f64,
+    /// Multiplier applied to compute durations of runaway invocations.
+    pub runaway_factor: f64,
+    /// Per-translated-access probability of a spurious VLB/VTW glitch
+    /// that flushes the accessing core's VLBs. Costs nothing directly;
+    /// the penalty emerges from forced VTW re-walks.
+    pub vlb_glitch_rate: f64,
+}
+
+impl Default for InjectConfig {
+    fn default() -> Self {
+        InjectConfig {
+            fault_rate: 0.0,
+            runaway_rate: 0.0,
+            runaway_factor: 50.0,
+            vlb_glitch_rate: 0.0,
+        }
+    }
+}
+
+impl InjectConfig {
+    /// A config injecting faults at `rate` per invocation, nothing else.
+    pub fn faults(rate: f64) -> Self {
+        InjectConfig {
+            fault_rate: rate,
+            ..InjectConfig::default()
+        }
+    }
+
+    /// Checks every rate is a probability and the factor is sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("fault_rate", self.fault_rate),
+            ("runaway_rate", self.runaway_rate),
+            ("vlb_glitch_rate", self.vlb_glitch_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        // Written to also reject NaN.
+        if self.runaway_factor.is_nan() || self.runaway_factor < 1.0 {
+            return Err(format!(
+                "runaway_factor must be >= 1, got {}",
+                self.runaway_factor
+            ));
+        }
+        Ok(())
+    }
+
+    /// True when every rate is zero (the injector will never fire).
+    pub fn is_inert(&self) -> bool {
+        self.fault_rate == 0.0 && self.runaway_rate == 0.0 && self.vlb_glitch_rate == 0.0
+    }
+}
+
+/// One planned act of misbehavior within an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// The kind of hardware fault the misbehavior must provoke.
+    pub kind: FaultKind,
+    /// Index of the function-body operation before which to misbehave.
+    pub at_op: usize,
+}
+
+/// What the injector decided for one invocation, fixed at dispatch time so
+/// retries of the same request can draw fresh (independent) plans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Misbehave at `fault.at_op`, provoking `fault.kind` — or run clean.
+    pub fault: Option<PlannedFault>,
+    /// Stretch compute phases by the configured runaway factor.
+    pub runaway: bool,
+}
+
+impl InjectionPlan {
+    /// The no-injection plan.
+    pub const CLEAN: InjectionPlan = InjectionPlan {
+        fault: None,
+        runaway: false,
+    };
+
+    /// True if the planned fault fires before op `op`.
+    pub fn faults_at(&self, op: usize) -> Option<FaultKind> {
+        match self.fault {
+            Some(p) if p.at_op == op => Some(p.kind),
+            _ => None,
+        }
+    }
+}
+
+/// Draws injection decisions from a dedicated, forked RNG stream, so the
+/// same seed always yields the same fault schedule regardless of how the
+/// rest of the simulation consumes randomness.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: InjectConfig,
+    rng: Rng,
+}
+
+impl FaultInjector {
+    /// Creates an injector; `rng` should be a [`Rng::fork`] of the sim RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`InjectConfig::validate`].
+    pub fn new(cfg: InjectConfig, rng: Rng) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid InjectConfig: {e}");
+        }
+        FaultInjector { cfg, rng }
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &InjectConfig {
+        &self.cfg
+    }
+
+    /// Plans one invocation whose body has `ops` operations: whether it
+    /// misbehaves, which fault kind it provokes, where, and whether its
+    /// compute runs away.
+    pub fn plan(&mut self, ops: usize) -> InjectionPlan {
+        let fault = if self.rng.chance(self.cfg.fault_rate) {
+            let kind = FaultKind::ALL[self.rng.choose_index(&FaultKind::ALL)];
+            let at_op = self.rng.next_below(ops.max(1) as u64) as usize;
+            Some(PlannedFault { kind, at_op })
+        } else {
+            None
+        };
+        let runaway = self.rng.chance(self.cfg.runaway_rate);
+        InjectionPlan { fault, runaway }
+    }
+
+    /// Draws one per-access VLB-glitch decision.
+    pub fn glitch(&mut self) -> bool {
+        self.cfg.vlb_glitch_rate > 0.0 && self.rng.chance(self.cfg.vlb_glitch_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let mut inj = FaultInjector::new(InjectConfig::default(), Rng::new(7));
+        for _ in 0..10_000 {
+            assert_eq!(inj.plan(8), InjectionPlan::CLEAN);
+            assert!(!inj.glitch());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = InjectConfig {
+            fault_rate: 0.3,
+            runaway_rate: 0.1,
+            vlb_glitch_rate: 0.05,
+            ..InjectConfig::default()
+        };
+        let mut a = FaultInjector::new(cfg, Rng::new(42));
+        let mut b = FaultInjector::new(cfg, Rng::new(42));
+        for _ in 0..1_000 {
+            assert_eq!(a.plan(5), b.plan(5));
+            assert_eq!(a.glitch(), b.glitch());
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let cfg = InjectConfig {
+            fault_rate: 0.25,
+            ..InjectConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, Rng::new(9));
+        let n = 40_000;
+        let fired = (0..n).filter(|_| inj.plan(4).fault.is_some()).count();
+        let p = fired as f64 / n as f64;
+        assert!((0.23..0.27).contains(&p), "empirical rate {p}");
+    }
+
+    #[test]
+    fn planned_op_is_within_body() {
+        let cfg = InjectConfig::faults(1.0);
+        let mut inj = FaultInjector::new(cfg, Rng::new(3));
+        let mut seen = [false; 6];
+        for _ in 0..2_000 {
+            let plan = inj.plan(6);
+            let f = plan.fault.expect("rate 1.0 always plans a fault");
+            assert!(f.at_op < 6);
+            seen[f.at_op] = true;
+            assert_eq!(plan.faults_at(f.at_op), Some(f.kind));
+            assert_eq!(plan.faults_at(f.at_op + 1), None);
+        }
+        assert!(seen.iter().all(|&s| s), "every op index should be drawn");
+    }
+
+    #[test]
+    fn all_kinds_get_planned() {
+        let cfg = InjectConfig::faults(1.0);
+        let mut inj = FaultInjector::new(cfg, Rng::new(11));
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[inj.plan(3).fault.unwrap().kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every fault kind should be drawn");
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(InjectConfig::faults(1.5).validate().is_err());
+        assert!(InjectConfig::faults(-0.1).validate().is_err());
+        let bad_factor = InjectConfig {
+            runaway_factor: 0.5,
+            ..InjectConfig::default()
+        };
+        assert!(bad_factor.validate().is_err());
+        assert!(InjectConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid InjectConfig")]
+    fn injector_panics_on_invalid_config() {
+        let _ = FaultInjector::new(InjectConfig::faults(2.0), Rng::new(0));
+    }
+}

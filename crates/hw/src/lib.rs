@@ -50,6 +50,7 @@ pub mod coherence;
 pub mod config;
 pub mod csr;
 pub mod fault;
+pub mod inject;
 pub mod machine;
 pub mod noc;
 pub mod types;
@@ -59,7 +60,8 @@ pub mod vtd;
 pub use coherence::CoherenceModel;
 pub use config::MachineConfig;
 pub use csr::{CoreCsrs, Csr};
-pub use fault::Fault;
+pub use fault::{Fault, FaultKind};
+pub use inject::{FaultInjector, InjectConfig, InjectionPlan, PlannedFault};
 pub use machine::{HwStats, Machine};
 pub use noc::Noc;
 pub use types::{CoreId, CoreSet, LineAddr, PdId, Perm, Va, VlbEntry, VteAddr};

@@ -248,6 +248,15 @@ impl Machine {
         vlb.fill(entry);
     }
 
+    /// Drops every cached translation in both of `core`'s VLBs, as a
+    /// spurious glitch or host context switch would. The cost is not
+    /// charged here: it emerges organically from the VTW re-walks the
+    /// now-cold VLBs force on subsequent accesses.
+    pub fn vlb_flush(&mut self, core: CoreId) {
+        self.cores[core.0].ivlb.flush();
+        self.cores[core.0].dvlb.flush();
+    }
+
     /// Reads a CSR of `core`; costs one cycle when it succeeds.
     ///
     /// # Errors

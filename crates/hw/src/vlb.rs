@@ -195,7 +195,10 @@ mod tests {
         // Touch entry 1 so entry 2 becomes LRU.
         assert!(v.lookup(0x1000, PdId(1)).is_some());
         v.fill(entry(3, 0x3000, 0x100, 1));
-        assert!(v.lookup(0x1000, PdId(1)).is_some(), "recently used survives");
+        assert!(
+            v.lookup(0x1000, PdId(1)).is_some(),
+            "recently used survives"
+        );
         assert!(v.lookup(0x2000, PdId(1)).is_none(), "LRU was evicted");
         assert!(v.lookup(0x3000, PdId(1)).is_some());
     }

@@ -186,7 +186,7 @@ mod tests {
         let (a, b) = (VteAddr(0), VteAddr(64));
         vtd.register(a, CoreId(1));
         vtd.register(b, CoreId(2)); // evicts a
-        // Coherence directory still says core 1 caches a's line.
+                                    // Coherence directory still says core 1 caches a's line.
         let victims = vtd.shootdown(a, CoreId(0), CoreSet::singleton(CoreId(1)));
         assert_eq!(victims, CoreSet::singleton(CoreId(1)));
     }

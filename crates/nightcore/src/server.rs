@@ -7,11 +7,11 @@
 //! NightCore workers block their thread on nested calls), so the remaining
 //! difference is exactly the paper's claim: OS pipes.
 
-use jord_core::{
-    ArgBuf, Executor, FuncOp, FunctionId, FunctionRegistry, Invocation, InvocationId, Orchestrator,
-    RunReport,
-};
 use jord_core::invocation::{InvocationSlab, Origin, Phase};
+use jord_core::{
+    ArgBuf, ConfigError, Executor, FuncOp, FunctionId, FunctionRegistry, Invocation, InvocationId,
+    Orchestrator, RunReport,
+};
 use jord_hw::types::CoreId;
 use jord_hw::{Machine, MachineConfig};
 use jord_sim::{EventQueue, Rng, SimDuration, SimTime};
@@ -106,14 +106,22 @@ impl NightCoreServer {
     ///
     /// # Errors
     ///
-    /// Returns a description of any configuration problem.
-    pub fn new(cfg: NightCoreConfig, registry: FunctionRegistry) -> Result<Self, String> {
-        cfg.machine.validate()?;
-        if cfg.orchestrators == 0 || cfg.orchestrators >= cfg.machine.cores {
-            return Err("bad orchestrator count".into());
+    /// Returns the [`ConfigError`] describing any configuration problem.
+    pub fn new(cfg: NightCoreConfig, registry: FunctionRegistry) -> Result<Self, ConfigError> {
+        cfg.machine
+            .validate()
+            .map_err(|reason| ConfigError::Machine { reason })?;
+        if cfg.orchestrators == 0 {
+            return Err(ConfigError::NoOrchestrators);
+        }
+        if cfg.orchestrators >= cfg.machine.cores {
+            return Err(ConfigError::NoExecutorCores {
+                orchestrators: cfg.orchestrators,
+                cores: cfg.machine.cores,
+            });
         }
         if registry.is_empty() {
-            return Err("no functions deployed".into());
+            return Err(ConfigError::NoFunctions);
         }
         let machine = Machine::new(cfg.machine.clone());
         let n_orch = cfg.orchestrators;
@@ -138,7 +146,11 @@ impl NightCoreServer {
                     .iter()
                     .position(|o| o.group.contains(&e))
                     .expect("covered");
-                Executor::new(CoreId(n_orch + e), orch, RT_BASE + 0x10_0000 + (e as u64) * 64)
+                Executor::new(
+                    CoreId(n_orch + e),
+                    orch,
+                    RT_BASE + 0x10_0000 + (e as u64) * 64,
+                )
             })
             .collect();
         let admission = (8 * n_exec / n_orch).max(16);
@@ -338,7 +350,9 @@ impl NightCoreServer {
             self.run_segment(t, d, e, id);
         } else if let Some(id) = self.execs[e].queue.pop_front() {
             let mut d = self.machine.work(self.cfg.pickup_work_ns);
-            d += self.machine.atomic_rmw(self.execs[e].core, self.execs[e].queue_line);
+            d += self
+                .machine
+                .atomic_rmw(self.execs[e].core, self.execs[e].queue_line);
             // Receive the request data from the pipe into a local buffer.
             d += self.cfg.pipes.recv(self.slab.get(id).argbuf.len());
             let inv = self.slab.get_mut(id);
@@ -473,8 +487,7 @@ impl NightCoreServer {
         match origin {
             Origin::External { orch, arrival } => {
                 // Result pipe back to the launcher.
-                let idle =
-                    !self.orchs[orch].has_work() && self.orchs[orch].next_free <= t + acc;
+                let idle = !self.orchs[orch].has_work() && self.orchs[orch].next_free <= t + acc;
                 let d = self.cfg.pipes.send(argbuf.len(), idle);
                 acc += d;
                 self.slab.get_mut(id).breakdown.exec += d;

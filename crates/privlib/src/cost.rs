@@ -87,7 +87,10 @@ mod tests {
             c.policy_check_ns,
             c.ifetch_restart_ns,
         ] {
-            assert!(v > 0.0 && v < 50.0, "PrivLib op work must be ns-scale, got {v}");
+            assert!(
+                v > 0.0 && v < 50.0,
+                "PrivLib op work must be ns-scale, got {v}"
+            );
         }
         assert!(c.uat_config_syscall_ns > 500.0, "syscalls are µs-scale");
     }

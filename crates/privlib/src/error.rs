@@ -96,7 +96,10 @@ mod tests {
             PrivError::BadAddress { va: 0x99 },
             PrivError::BadLength { len: 0 },
             PrivError::BadPd { pd: PdId(7) },
-            PrivError::NotOwner { va: 0x1, pd: PdId(2) },
+            PrivError::NotOwner {
+                va: 0x1,
+                pd: PdId(2),
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -39,7 +39,12 @@ pub struct BootVmas {
 /// Propagates allocation failures from the initial privileged mappings
 /// (which only occur with pathological layouts).
 pub fn boot(machine: &mut Machine, choice: TableChoice) -> Result<PrivLib, PrivError> {
-    boot_with(machine, choice, IsolationMode::Full, CostModel::calibrated())
+    boot_with(
+        machine,
+        choice,
+        IsolationMode::Full,
+        CostModel::calibrated(),
+    )
 }
 
 /// Boots PrivLib with explicit isolation mode and cost model; returns the

@@ -298,11 +298,11 @@ impl PrivLib {
         va: Va,
         pd: PdId,
     ) -> Result<SimDuration, PrivError> {
-        let (sc, index, _) = self
-            .codec
-            .decode(va)
+        let (sc, index, _) = self.codec.decode(va).ok_or(PrivError::BadAddress { va })?;
+        let vte = self
+            .table
+            .peek(sc, index)
             .ok_or(PrivError::BadAddress { va })?;
-        let vte = self.table.peek(sc, index).ok_or(PrivError::BadAddress { va })?;
         if self.full() && pd != PdId::RUNTIME && vte.perm_for(pd).is_none() {
             return Err(PrivError::NotOwner { va, pd });
         }
@@ -333,10 +333,7 @@ impl PrivLib {
         prot: Perm,
         pd: PdId,
     ) -> Result<SimDuration, PrivError> {
-        let (sc, index, _) = self
-            .codec
-            .decode(va)
-            .ok_or(PrivError::BadAddress { va })?;
+        let (sc, index, _) = self.codec.decode(va).ok_or(PrivError::BadAddress { va })?;
         if !self.full() {
             // Isolation bypassed: permissions are not tracked.
             let cost = SimDuration::ZERO;
@@ -373,11 +370,11 @@ impl PrivLib {
         len: u64,
         pd: PdId,
     ) -> Result<SimDuration, PrivError> {
-        let (sc, index, _) = self
-            .codec
-            .decode(va)
+        let (sc, index, _) = self.codec.decode(va).ok_or(PrivError::BadAddress { va })?;
+        let vte = self
+            .table
+            .peek(sc, index)
             .ok_or(PrivError::BadAddress { va })?;
-        let vte = self.table.peek(sc, index).ok_or(PrivError::BadAddress { va })?;
         if len == 0 || len > sc.bytes() {
             return Err(PrivError::BadLength { len });
         }
@@ -448,17 +445,16 @@ impl PrivLib {
             self.stats.record(OpKind::Ptransfer, cost);
             return Ok(cost);
         }
-        let (sc, index, _) = self
-            .codec
-            .decode(va)
-            .ok_or(PrivError::BadAddress { va })?;
+        let (sc, index, _) = self.codec.decode(va).ok_or(PrivError::BadAddress { va })?;
         if to != PdId::RUNTIME && !self.pd_live[to.0 as usize] {
             return Err(PrivError::BadPd { pd: to });
         }
         let mut cost = machine.work(self.costs.ptransfer_ns);
         self.acc.clear();
         let mut acc = std::mem::take(&mut self.acc);
-        let moved = self.table.transfer_perm(sc, index, from, to, prot, mv, &mut acc);
+        let moved = self
+            .table
+            .transfer_perm(sc, index, from, to, prot, mv, &mut acc);
         cost += Self::charge(machine, core, &acc);
         self.acc = acc;
         if moved.is_none() {
@@ -484,10 +480,7 @@ impl PrivLib {
         va: Va,
         attr: VteAttr,
     ) -> Result<SimDuration, PrivError> {
-        let (sc, index, _) = self
-            .codec
-            .decode(va)
-            .ok_or(PrivError::BadAddress { va })?;
+        let (sc, index, _) = self.codec.decode(va).ok_or(PrivError::BadAddress { va })?;
         self.acc.clear();
         let mut acc = std::mem::take(&mut self.acc);
         let ok = self.table.set_attr(sc, index, attr, &mut acc);
@@ -664,7 +657,13 @@ impl PrivLib {
     /// lookup and possible walk are charged, but no privilege fault is
     /// raised. Used by the runtime to model function ↔ PrivLib control-flow
     /// transitions.
-    pub fn fetch_gated(&mut self, machine: &mut Machine, core: CoreId, pd: PdId, va: Va) -> SimDuration {
+    pub fn fetch_gated(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        pd: PdId,
+        va: Va,
+    ) -> SimDuration {
         match self.translate(machine, core, pd, va, Perm::EXEC, VlbKind::Instr) {
             Ok(d) => d,
             Err(PrivError::Fault(Fault::Privilege { .. })) => SimDuration::ZERO,

@@ -49,7 +49,8 @@ fn cross_pd_access_faults_permission() {
 
         // Owner can read and write.
         p.access(&mut m, core, pd_a, heap_a, Perm::RW).unwrap();
-        p.access(&mut m, core, pd_a, heap_a + 4095, Perm::READ).unwrap();
+        p.access(&mut m, core, pd_a, heap_a + 4095, Perm::READ)
+            .unwrap();
 
         // The other PD holds nothing.
         match p.access(&mut m, core, pd_b, heap_a, Perm::READ) {
@@ -179,7 +180,8 @@ fn remote_core_sees_revocation() {
     p.access(&mut m, victim_core, src, buf, Perm::READ).unwrap();
     // Owner core moves the permission away — hardware VLB shootdown must
     // reach the victim core.
-    p.pmove(&mut m, owner_core, buf, src, dst, Perm::RW).unwrap();
+    p.pmove(&mut m, owner_core, buf, src, dst, Perm::RW)
+        .unwrap();
     assert!(
         matches!(
             p.access(&mut m, victim_core, src, buf, Perm::READ),

@@ -168,16 +168,26 @@ fn total_isolation_overhead_is_nanosecond_scale() {
 
     let mut total = SimDuration::ZERO;
     // Figure 4's isolation steps with a pooled stack/heap VMA.
-    let (stackheap, _) = p.mmap(&mut m, core, 64 << 10, Perm::RW, PdId::RUNTIME).unwrap();
+    let (stackheap, _) = p
+        .mmap(&mut m, core, 64 << 10, Perm::RW, PdId::RUNTIME)
+        .unwrap();
     let (pd, c) = p.cget(&mut m, core).unwrap();
     total += c;
-    total += p.pmove(&mut m, core, stackheap, PdId::RUNTIME, pd, Perm::RW).unwrap();
-    total += p.pmove(&mut m, core, argbuf, PdId::RUNTIME, pd, Perm::RW).unwrap();
+    total += p
+        .pmove(&mut m, core, stackheap, PdId::RUNTIME, pd, Perm::RW)
+        .unwrap();
+    total += p
+        .pmove(&mut m, core, argbuf, PdId::RUNTIME, pd, Perm::RW)
+        .unwrap();
     total += p.ccall(&mut m, core, pd).unwrap();
     // … function executes …
     total += p.cexit(&mut m, core);
-    total += p.pmove(&mut m, core, argbuf, pd, PdId::RUNTIME, Perm::RW).unwrap();
-    total += p.pmove(&mut m, core, stackheap, pd, PdId::RUNTIME, Perm::RW).unwrap();
+    total += p
+        .pmove(&mut m, core, argbuf, pd, PdId::RUNTIME, Perm::RW)
+        .unwrap();
+    total += p
+        .pmove(&mut m, core, stackheap, pd, PdId::RUNTIME, Perm::RW)
+        .unwrap();
     total += p.cput(&mut m, core, pd).unwrap();
 
     let ns = total.as_ns_f64();

@@ -1,0 +1,117 @@
+//! # proptest (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the [`proptest`] crate,
+//! implementing exactly the API surface this workspace's property tests
+//! use: the [`proptest!`] macro, range/tuple/vec/bool strategies,
+//! `prop_map`/`prop_filter`, [`prop_oneof!`], `prop_assert*!`, and
+//! [`prop_assume!`].
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs via
+//!   the standard assertion message; there is no minimization pass.
+//! * **Fixed determinism.** Each test function derives its RNG seed from
+//!   its own name (FNV-1a), so every run of `cargo test` explores the
+//!   identical case sequence — the right trade-off for an offline CI
+//!   environment where reproducibility beats novelty.
+//!
+//! The workspace substitutes this crate for crates-io `proptest` through a
+//! `[workspace.dependencies]` path entry, which is what lets
+//! `cargo build --release && cargo test -q` resolve with no network.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(args in strategies) body`
+/// item becomes a regular test that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    let mut case = |rng: &mut $crate::test_runner::TestRng| {
+                        $( let $arg = $crate::strategy::Strategy::sample(&($strat), rng); )+
+                        $body
+                    };
+                    case(&mut rng);
+                }
+            }
+        )*
+    };
+}
+
+/// One-of strategy choice: picks an arm uniformly at random per sample.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when its sampled inputs are uninteresting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -184,9 +184,7 @@ impl BTreeTable {
             acc.push(TableAccess::NodeWrite(self.node_addr(right_id)));
             Some((sep, right_id))
         } else {
-            let child_pos = self.nodes[id as usize]
-                .keys
-                .partition_point(|&k| key >= k);
+            let child_pos = self.nodes[id as usize].keys.partition_point(|&k| key >= k);
             let child_id = self.nodes[id as usize].children[child_pos];
             let split = self.insert_rec(child_id, key, val, acc)?;
             let (sep, right_id) = split;
@@ -235,9 +233,7 @@ impl BTreeTable {
             }
             self.nodes[id as usize].keys.len() < MIN_KEYS
         } else {
-            let child_pos = self.nodes[id as usize]
-                .keys
-                .partition_point(|&k| key >= k);
+            let child_pos = self.nodes[id as usize].keys.partition_point(|&k| key >= k);
             let child_id = self.nodes[id as usize].children[child_pos];
             if self.delete_rec(child_id, key, acc) {
                 self.fix_underflow(id, child_pos, acc);
@@ -296,7 +292,10 @@ impl BTreeTable {
             self.nodes[parent as usize].keys[child_pos - 1] = k;
         } else {
             let k = self.nodes[left as usize].keys.pop().expect("donor key");
-            let c = self.nodes[left as usize].children.pop().expect("donor child");
+            let c = self.nodes[left as usize]
+                .children
+                .pop()
+                .expect("donor child");
             let sep = std::mem::replace(&mut self.nodes[parent as usize].keys[child_pos - 1], k);
             self.nodes[child as usize].keys.insert(0, sep);
             self.nodes[child as usize].children.insert(0, c);
@@ -373,7 +372,13 @@ impl BTreeTable {
     /// Validates B+ tree structural invariants (tests / debug builds).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        fn walk(t: &BTreeTable, id: u32, depth: usize, leaf_depth: &mut Option<usize>, is_root: bool) {
+        fn walk(
+            t: &BTreeTable,
+            id: u32,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            is_root: bool,
+        ) {
             let n = &t.nodes[id as usize];
             assert!(n.keys.windows(2).all(|w| w[0] < w[1]), "keys sorted");
             if n.leaf {
@@ -519,13 +524,7 @@ impl VmaTable for BTreeTable {
         Some(perm)
     }
 
-    fn set_len(
-        &mut self,
-        sc: SizeClass,
-        index: u32,
-        len: u64,
-        acc: &mut Vec<TableAccess>,
-    ) -> bool {
+    fn set_len(&mut self, sc: SizeClass, index: u32, len: u64, acc: &mut Vec<TableAccess>) -> bool {
         if len == 0 || len > sc.bytes() {
             return false;
         }
@@ -561,7 +560,10 @@ impl VmaTable for BTreeTable {
         if vte.base != base {
             return false;
         }
-        vte.attr = VteAttr { valid: true, ..attr };
+        vte.attr = VteAttr {
+            valid: true,
+            ..attr
+        };
         acc.push(TableAccess::VteWrite(self.arena_addr(slot)));
         true
     }
@@ -632,7 +634,10 @@ mod tests {
             .iter()
             .filter(|a| matches!(a, TableAccess::NodeRead(_)))
             .count();
-        assert!(reads >= 3, "expected ≥3 node reads in a deep tree, got {reads}");
+        assert!(
+            reads >= 3,
+            "expected ≥3 node reads in a deep tree, got {reads}"
+        );
     }
 
     #[test]
@@ -704,7 +709,9 @@ mod tests {
         let mut acc = Vec::new();
         assert!(!t.remove(sc(0), 7, &mut acc));
         assert!(!t.set_perm(sc(0), 7, PdId(1), Perm::READ, &mut acc));
-        assert!(t.transfer_perm(sc(0), 7, PdId(1), PdId(2), Perm::RWX, true, &mut acc).is_none());
+        assert!(t
+            .transfer_perm(sc(0), 7, PdId(1), PdId(2), Perm::RWX, true, &mut acc)
+            .is_none());
     }
 
     #[test]

@@ -51,7 +51,8 @@ impl PhysAllocator {
             self.next += need;
             return Ok(p);
         }
-        Err(self.limit + self.grant_bytes.min(need) <= self.region_end || self.next + need <= self.region_end)
+        Err(self.limit + self.grant_bytes.min(need) <= self.region_end
+            || self.next + need <= self.region_end)
     }
 
     /// Obtains another OS grant (PrivLib's `uat_config` refill path).

@@ -107,8 +107,7 @@ pub trait VmaTable {
     /// Updates the requested length (resize within the size-class chunk).
     /// Returns `false` if the mapping doesn't exist or `len` exceeds the
     /// chunk.
-    fn set_len(&mut self, sc: SizeClass, index: u32, len: u64, acc: &mut Vec<TableAccess>)
-        -> bool;
+    fn set_len(&mut self, sc: SizeClass, index: u32, len: u64, acc: &mut Vec<TableAccess>) -> bool;
 
     /// Sets the attribute bits (G/P, global permission).
     fn set_attr(
@@ -286,13 +285,7 @@ impl VmaTable for PlainListTable {
         Some(perm)
     }
 
-    fn set_len(
-        &mut self,
-        sc: SizeClass,
-        index: u32,
-        len: u64,
-        acc: &mut Vec<TableAccess>,
-    ) -> bool {
+    fn set_len(&mut self, sc: SizeClass, index: u32, len: u64, acc: &mut Vec<TableAccess>) -> bool {
         if len == 0 || len > sc.bytes() {
             return false;
         }
@@ -317,7 +310,10 @@ impl VmaTable for PlainListTable {
         let vte_addr = self.codec.vte_addr(self.base, sc, index);
         match self.slot_mut(sc, index) {
             Some(vte) if vte.attr.valid => {
-                vte.attr = VteAttr { valid: true, ..attr };
+                vte.attr = VteAttr {
+                    valid: true,
+                    ..attr
+                };
                 acc.push(TableAccess::VteWrite(vte_addr));
                 true
             }

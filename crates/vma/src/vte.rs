@@ -149,8 +149,7 @@ impl Vte {
 
     /// Number of PDs holding a permission (excluding G-bit grants).
     pub fn sharer_count(&self) -> usize {
-        self.sub_array.iter().flatten().count()
-            + self.overflow.as_ref().map_or(0, |of| of.len())
+        self.sub_array.iter().flatten().count() + self.overflow.as_ref().map_or(0, |of| of.len())
     }
 
     /// True if the overflow (`ptr`) list is in use.

@@ -69,13 +69,38 @@ proptest! {
 /// One step of the table-equivalence state machine.
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { slot: u8, len_frac: f64 },
-    Remove { slot: u8 },
-    SetPerm { slot: u8, pd: u16, perm: Perm },
-    Transfer { slot: u8, from: u16, to: u16, mv: bool },
-    SetLen { slot: u8, len_frac: f64 },
-    SetAttr { slot: u8, global: bool, privileged: bool },
-    Lookup { slot: u8, off_frac: f64, pd: u16 },
+    Insert {
+        slot: u8,
+        len_frac: f64,
+    },
+    Remove {
+        slot: u8,
+    },
+    SetPerm {
+        slot: u8,
+        pd: u16,
+        perm: Perm,
+    },
+    Transfer {
+        slot: u8,
+        from: u16,
+        to: u16,
+        mv: bool,
+    },
+    SetLen {
+        slot: u8,
+        len_frac: f64,
+    },
+    SetAttr {
+        slot: u8,
+        global: bool,
+        privileged: bool,
+    },
+    Lookup {
+        slot: u8,
+        off_frac: f64,
+        pd: u16,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -83,11 +108,20 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0u8..24, 0.01f64..1.0).prop_map(|(slot, len_frac)| Op::Insert { slot, len_frac }),
         (0u8..24).prop_map(|slot| Op::Remove { slot }),
         (0u8..24, 1u16..6, arb_perm()).prop_map(|(slot, pd, perm)| Op::SetPerm { slot, pd, perm }),
-        (0u8..24, 1u16..6, 1u16..6, any::<bool>())
-            .prop_map(|(slot, from, to, mv)| Op::Transfer { slot, from, to, mv }),
+        (0u8..24, 1u16..6, 1u16..6, any::<bool>()).prop_map(|(slot, from, to, mv)| Op::Transfer {
+            slot,
+            from,
+            to,
+            mv
+        }),
         (0u8..24, 0.01f64..1.0).prop_map(|(slot, len_frac)| Op::SetLen { slot, len_frac }),
-        (0u8..24, any::<bool>(), any::<bool>())
-            .prop_map(|(slot, global, privileged)| Op::SetAttr { slot, global, privileged }),
+        (0u8..24, any::<bool>(), any::<bool>()).prop_map(|(slot, global, privileged)| {
+            Op::SetAttr {
+                slot,
+                global,
+                privileged,
+            }
+        }),
         (0u8..24, 0.0f64..1.0, 0u16..6).prop_map(|(slot, off_frac, pd)| Op::Lookup {
             slot,
             off_frac,

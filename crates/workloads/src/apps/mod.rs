@@ -89,9 +89,7 @@ impl Workload {
         let total_w: f64 = self.entries.iter().map(|e| e.weight).sum();
         self.entries
             .iter()
-            .map(|e| {
-                e.weight / total_w * self.registry.invocation_fanout(e.func) as f64
-            })
+            .map(|e| e.weight / total_w * self.registry.invocation_fanout(e.func) as f64)
             .sum()
     }
 
@@ -114,7 +112,12 @@ mod tests {
             let w = Workload::build(kind);
             assert!(!w.registry.is_empty(), "{} has functions", w.name());
             assert!(!w.entries.is_empty(), "{} has entries", w.name());
-            assert_eq!(w.selected.len(), 2, "{}: Table 3 selects two functions", w.name());
+            assert_eq!(
+                w.selected.len(),
+                2,
+                "{}: Table 3 selects two functions",
+                w.name()
+            );
             let total_w: f64 = w.entries.iter().map(|e| e.weight).sum();
             assert!(total_w > 0.0);
         }
@@ -129,9 +132,12 @@ mod tests {
             (9.0..18.0).contains(&media),
             "Media should average ~12 nested calls, got {media:.1}"
         );
-        for kind in [WorkloadKind::Hipster, WorkloadKind::Hotel, WorkloadKind::Social] {
-            let nested =
-                Workload::build(kind).mean_invocations_per_request() - 1.0;
+        for kind in [
+            WorkloadKind::Hipster,
+            WorkloadKind::Hotel,
+            WorkloadKind::Social,
+        ] {
+            let nested = Workload::build(kind).mean_invocations_per_request() - 1.0;
             // Social sits a bit above three on average because ComposePost's
             // timeline fan-out is itself wide; it must still be far from
             // Media's twelve.

@@ -1,0 +1,295 @@
+//! Chaos campaigns: fault-rate sweeps over a workload.
+//!
+//! The robustness counterpart of the §6 load sweeps: instead of raising
+//! the offered load until the SLO breaks, a campaign raises the injected
+//! fault rate and checks that the runtime **degrades gracefully** — every
+//! request still ends Completed, Faulted, or Shed (none lost), goodput
+//! falls smoothly instead of collapsing, and a drained server holds not
+//! one PD, VMA, or invocation record more than it did before the storm.
+//!
+//! Each point re-runs the same seeded workload, so a campaign is exactly
+//! reproducible; the containment invariants are asserted inside the
+//! runner itself — a leak anywhere in the abort path fails the campaign,
+//! not just a dedicated unit test.
+
+use jord_core::{RecoveryPolicy, RuntimeConfig, SystemVariant, WorkerServer};
+use jord_hw::{InjectConfig, MachineConfig};
+
+use crate::apps::Workload;
+use crate::loadgen::LoadGen;
+
+/// One measured point of a fault-rate sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPoint {
+    /// Per-invocation-op fault probability injected at this point.
+    pub fault_rate: f64,
+    /// Measured external requests.
+    pub offered: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests terminally failed (retries exhausted).
+    pub failed: u64,
+    /// Requests shed at admission.
+    pub sheds: u64,
+    /// Hardware faults raised across the run.
+    pub faults: u64,
+    /// Invocations aborted (faults, timeouts, failed children).
+    pub aborted: u64,
+    /// Re-dispatches after failure.
+    pub retries: u64,
+    /// Goodput: completed / offered.
+    pub goodput: f64,
+    /// p99 request latency in µs of the completing requests (0 if none).
+    pub p99_us: f64,
+}
+
+/// A chaos-campaign recipe: one workload, one system variant, a ladder of
+/// fault rates.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Jord variant under test (chaos targets the Jord runtimes; NightCore
+    /// has no Jord protection hardware to misbehave against).
+    pub variant: SystemVariant,
+    /// Hardware configuration.
+    pub machine: MachineConfig,
+    /// Offered load, requests/second.
+    pub rate_rps: f64,
+    /// Measured requests per point.
+    pub requests: usize,
+    /// Warm-up requests discarded from measurement.
+    pub warmup: usize,
+    /// Seed shared by the load generator and every server.
+    pub seed: u64,
+    /// The fault-rate ladder (a clean 0.0 baseline is always prepended).
+    pub fault_rates: Vec<f64>,
+    /// Recovery policy applied at every point.
+    pub recovery: RecoveryPolicy,
+}
+
+impl ChaosSpec {
+    /// A default campaign: Jord on the Table 2 machine, 2 k measured
+    /// requests per point, sweeping 1e-4 → 1e-2.
+    pub fn new(rate_rps: f64) -> Self {
+        ChaosSpec {
+            variant: SystemVariant::Jord,
+            machine: MachineConfig::isca25(),
+            rate_rps,
+            requests: 2_000,
+            warmup: 200,
+            seed: 42,
+            fault_rates: vec![1e-4, 1e-3, 1e-2],
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Overrides the fault-rate ladder.
+    pub fn rates(mut self, rates: Vec<f64>) -> Self {
+        self.fault_rates = rates;
+        self
+    }
+
+    /// Overrides the recovery policy.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Overrides the per-point request counts.
+    pub fn requests(mut self, measured: usize, warmup: usize) -> Self {
+        self.requests = measured;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Runs the campaign on `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point violates containment: a lost request
+    /// (`offered != completed + failed + sheds`) or a leaked invocation,
+    /// VMA, or PD after the run drains.
+    pub fn run(&self, workload: &Workload) -> ChaosReport {
+        let mut points = Vec::with_capacity(self.fault_rates.len() + 1);
+        points.push(self.run_point(workload, 0.0));
+        for &rate in &self.fault_rates {
+            points.push(self.run_point(workload, rate));
+        }
+        ChaosReport { points }
+    }
+
+    fn run_point(&self, workload: &Workload, fault_rate: f64) -> ChaosPoint {
+        let mut cfg = RuntimeConfig::variant_on(self.variant, self.machine.clone())
+            .with_seed(self.seed)
+            .with_recovery(self.recovery);
+        if fault_rate > 0.0 {
+            cfg = cfg.with_inject(InjectConfig::faults(fault_rate));
+        }
+        let mut server =
+            WorkerServer::new(cfg, workload.registry.clone()).expect("valid chaos config");
+        let baseline_vmas = server.privlib().live_vmas();
+        let baseline_pds = server.privlib().live_pds();
+        server.set_warmup(self.warmup as u64);
+        let mut gen = LoadGen::new(workload, self.seed);
+        for (t, f, b) in gen.arrivals(self.rate_rps, self.requests + self.warmup) {
+            server.push_request(t, f, b);
+        }
+        let rep = server.run();
+
+        // Containment invariants, checked at every point of every campaign.
+        assert_eq!(
+            rep.offered,
+            rep.completed + rep.faults.failed + rep.faults.sheds,
+            "rate {fault_rate}: requests lost"
+        );
+        assert_eq!(
+            server.live_invocations(),
+            0,
+            "rate {fault_rate}: invocation records leaked"
+        );
+        assert_eq!(
+            server.privlib().live_vmas(),
+            baseline_vmas,
+            "rate {fault_rate}: VMAs leaked"
+        );
+        assert_eq!(
+            server.privlib().live_pds(),
+            baseline_pds,
+            "rate {fault_rate}: PDs leaked"
+        );
+
+        ChaosPoint {
+            fault_rate,
+            offered: rep.offered,
+            completed: rep.completed,
+            failed: rep.faults.failed,
+            sheds: rep.faults.sheds,
+            faults: rep.faults.total_faults(),
+            aborted: rep.faults.aborted,
+            retries: rep.faults.retries,
+            goodput: rep.goodput(),
+            p99_us: rep.p99().map(|d| d.as_us_f64()).unwrap_or(0.0),
+        }
+    }
+}
+
+/// The outcome of a chaos campaign: the clean baseline followed by one
+/// point per swept fault rate, in ladder order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Points in sweep order; `points[0]` is the clean baseline.
+    pub points: Vec<ChaosPoint>,
+}
+
+impl ChaosReport {
+    /// The clean (no-injection) baseline point.
+    pub fn baseline(&self) -> &ChaosPoint {
+        &self.points[0]
+    }
+
+    /// True when degradation is graceful: the clean baseline loses
+    /// nothing, goodput never falls below `floor` at any swept rate, and
+    /// no point loses more goodput than `tolerance` relative to the next
+    /// lower rate (no cliff).
+    pub fn degrades_gracefully(&self, floor: f64, tolerance: f64) -> bool {
+        let base = self.baseline();
+        if base.goodput < 1.0 || base.faults != 0 {
+            return false;
+        }
+        self.points.iter().all(|p| p.goodput >= floor)
+            && self
+                .points
+                .windows(2)
+                .all(|w| w[0].goodput - w[1].goodput <= tolerance + f64::EPSILON)
+    }
+
+    /// Formats the campaign as an aligned text table (figure-style output).
+    pub fn table(&self) -> String {
+        let mut out = String::from(
+            "fault_rate    offered  completed     failed      sheds     faults    retries  goodput    p99_us\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}   {:.4} {:>9.1}\n",
+                format!("{:.0e}", p.fault_rate),
+                p.offered,
+                p.completed,
+                p.failed,
+                p.sheds,
+                p.faults,
+                p.retries,
+                p.goodput,
+                p.p99_us,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::WorkloadKind;
+
+    fn quick_spec() -> ChaosSpec {
+        ChaosSpec::new(0.2e6)
+            .requests(400, 50)
+            .rates(vec![1e-3, 2e-2])
+    }
+
+    #[test]
+    fn campaign_degrades_gracefully_and_contains_faults() {
+        let w = Workload::build(WorkloadKind::Hotel);
+        let rep = quick_spec().run(&w);
+        assert_eq!(rep.points.len(), 3);
+        assert_eq!(rep.baseline().goodput, 1.0);
+        assert_eq!(rep.baseline().faults, 0);
+        // The heavy point must actually exercise the machinery…
+        let heavy = rep.points.last().unwrap();
+        assert!(heavy.faults > 0, "2e-2 must raise faults: {heavy:?}");
+        assert!(heavy.retries > 0, "default policy retries failures");
+        // …and degradation stays smooth (run_point already asserted the
+        // containment invariants at every rung).
+        assert!(
+            rep.degrades_gracefully(0.9, 0.1),
+            "goodput ladder: {:?}",
+            rep.points.iter().map(|p| p.goodput).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let w = Workload::build(WorkloadKind::Hotel);
+        let a = quick_spec().run(&w);
+        let b = quick_spec().run(&w);
+        assert_eq!(a, b, "same seed must reproduce the whole campaign");
+    }
+
+    #[test]
+    fn goodput_falls_below_throughput_under_heavy_injection() {
+        let w = Workload::build(WorkloadKind::Hotel);
+        let spec = quick_spec().rates(vec![5e-2]).recovery(RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::default()
+        });
+        let rep = spec.run(&w);
+        let heavy = rep.points.last().unwrap();
+        assert!(
+            heavy.completed < heavy.offered,
+            "5% with no retries must lose requests: {heavy:?}"
+        );
+        assert!(heavy.failed > 0);
+        assert!(heavy.goodput < 1.0);
+    }
+
+    #[test]
+    fn table_lists_every_point() {
+        let w = Workload::build(WorkloadKind::Hotel);
+        let rep = ChaosSpec::new(0.2e6)
+            .requests(100, 20)
+            .rates(vec![1e-2])
+            .run(&w);
+        let table = rep.table();
+        assert_eq!(table.lines().count(), 1 + rep.points.len());
+        assert!(table.contains("goodput"));
+    }
+}

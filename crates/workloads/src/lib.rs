@@ -20,7 +20,10 @@
 //!   report,
 //! * [`slo`] — the paper's SLO machinery: 10× the minimal-load service
 //!   time on Jord_NI, and the "throughput under SLO" search used all over
-//!   §6.
+//!   §6,
+//! * [`chaos`] — fault-rate sweep campaigns that assert graceful
+//!   degradation and zero resource leakage under deterministic fault
+//!   injection.
 //!
 //! # Example
 //!
@@ -40,11 +43,13 @@
 //! ```
 
 pub mod apps;
+pub mod chaos;
 pub mod loadgen;
 pub mod runner;
 pub mod slo;
 
 pub use apps::{EntryPoint, Workload, WorkloadKind};
+pub use chaos::{ChaosPoint, ChaosReport, ChaosSpec};
 pub use loadgen::LoadGen;
-pub use runner::{run_system, System, SweepPoint};
+pub use runner::{run_system, SweepPoint, System};
 pub use slo::{measure_slo, throughput_under_slo};

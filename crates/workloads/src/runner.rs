@@ -4,7 +4,7 @@
 //! machine, workload) triple, inject an open-loop Poisson load, run, and
 //! read the report. [`RunSpec`] is that recipe as a value.
 
-use jord_core::{RuntimeConfig, RunReport, SystemVariant, WorkerServer};
+use jord_core::{RunReport, RuntimeConfig, SystemVariant, WorkerServer};
 use jord_hw::MachineConfig;
 use jord_nightcore::{NightCoreConfig, NightCoreServer};
 
@@ -168,7 +168,12 @@ mod tests {
     #[test]
     fn all_systems_run_the_hotel_workload() {
         let w = Workload::build(WorkloadKind::Hotel);
-        for sys in [System::Jord, System::JordNi, System::JordBt, System::NightCore] {
+        for sys in [
+            System::Jord,
+            System::JordNi,
+            System::JordBt,
+            System::NightCore,
+        ] {
             let rep = RunSpec::new(sys, 0.2e6).requests(500, 50).run(&w);
             assert_eq!(rep.completed, 500, "{} completes", sys.label());
             assert!(rep.p99().is_some());

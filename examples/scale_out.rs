@@ -35,7 +35,10 @@ fn main() {
     }
 
     println!("\nper-socket orchestrator groups (the paper's recommendation):");
-    println!("{:>10} {:>8} {:>14} {:>10}", "scale", "orchs", "dispatch(us)", "p99(us)");
+    println!(
+        "{:>10} {:>8} {:>14} {:>10}",
+        "scale", "orchs", "dispatch(us)", "p99(us)"
+    );
     for (name, machine) in &scales {
         let orchs = (machine.cores / 8).max(1);
         let rep = RunSpec::new(System::Jord, 2.0e4)

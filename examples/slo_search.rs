@@ -23,7 +23,11 @@ fn main() {
         let (points, best) = throughput_under_slo(system, &workload, &loads, slo, 4_000);
         println!("\n{:10}  p99 by load:", system.label());
         for p in &points {
-            let marker = if p.p99_us <= slo.as_us_f64() { "meets" } else { "FAILS" };
+            let marker = if p.p99_us <= slo.as_us_f64() {
+                "meets"
+            } else {
+                "FAILS"
+            };
             println!(
                 "  {:>5.1} MRPS -> p99 {:>8.1} us   {marker}",
                 p.rate_rps / 1e6,

@@ -21,11 +21,17 @@ fn main() {
 
     // The paper's SLO: 10× the minimal-load service time on Jord_NI.
     let slo = measure_slo(&workload, 0.05e6, 2_000);
-    println!("SLO: {:.1} us (10x Jord_NI minimal-load latency)\n", slo.as_us_f64());
+    println!(
+        "SLO: {:.1} us (10x Jord_NI minimal-load latency)\n",
+        slo.as_us_f64()
+    );
 
     // Sweep both systems over increasing load.
     let loads: Vec<f64> = [0.1, 0.2, 0.4, 0.6, 0.8].iter().map(|x| x * 1e6).collect();
-    println!("{:>8} {:>14} {:>14}", "MRPS", "Jord p99(us)", "NightCore p99(us)");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "MRPS", "Jord p99(us)", "NightCore p99(us)"
+    );
     let mut best = [0.0f64; 2];
     for &rate in &loads {
         let mut cells = [0.0f64; 2];
@@ -46,7 +52,9 @@ fn main() {
     );
 
     // Where does the time go? ComposePost (the ~45-75 µs tail of Fig. 10).
-    let rep = RunSpec::new(System::Jord, 0.1e6).requests(4_000, 400).run(&workload);
+    let rep = RunSpec::new(System::Jord, 0.1e6)
+        .requests(4_000, 400)
+        .run(&workload);
     let cp = workload.selected_fn("CP").expect("ComposePost deployed");
     let fb = &rep.functions[&cp];
     let (exec, isolation, dispatch) = fb.mean_parts_ns();

@@ -69,8 +69,7 @@ pub mod prelude {
     pub use jord_privlib::{IsolationMode, PrivError, PrivLib, TableChoice};
     pub use jord_sim::{LatencyHistogram, Rng, SimDuration, SimTime, TimeDist};
     pub use jord_workloads::{
-        measure_slo, runner::RunSpec, throughput_under_slo, LoadGen, System, Workload,
-        WorkloadKind,
+        measure_slo, runner::RunSpec, throughput_under_slo, LoadGen, System, Workload, WorkloadKind,
     };
 }
 

@@ -13,7 +13,12 @@ fn run(kind: WorkloadKind, system: System, rate: f64, n: usize) -> jord::core::R
 #[test]
 fn every_workload_completes_on_every_system() {
     for kind in WorkloadKind::ALL {
-        for sys in [System::Jord, System::JordNi, System::JordBt, System::NightCore] {
+        for sys in [
+            System::Jord,
+            System::JordNi,
+            System::JordBt,
+            System::NightCore,
+        ] {
             let rep = run(kind, sys, 0.1e6, 300);
             assert_eq!(rep.completed, 300, "{kind:?} on {}", sys.label());
             assert!(rep.invocations >= rep.completed);
@@ -27,10 +32,22 @@ fn latency_ordering_ni_jord_bt_nightcore() {
     // At a moderate shared load the paper's ordering must hold:
     // Jord_NI ≤ Jord ≤ Jord_BT, and NightCore far behind.
     let kind = WorkloadKind::Hotel;
-    let ni = run(kind, System::JordNi, 1.0e6, 2_000).latency.mean().unwrap();
-    let jord = run(kind, System::Jord, 1.0e6, 2_000).latency.mean().unwrap();
-    let bt = run(kind, System::JordBt, 1.0e6, 2_000).latency.mean().unwrap();
-    let nc = run(kind, System::NightCore, 1.0e6, 2_000).latency.mean().unwrap();
+    let ni = run(kind, System::JordNi, 1.0e6, 2_000)
+        .latency
+        .mean()
+        .unwrap();
+    let jord = run(kind, System::Jord, 1.0e6, 2_000)
+        .latency
+        .mean()
+        .unwrap();
+    let bt = run(kind, System::JordBt, 1.0e6, 2_000)
+        .latency
+        .mean()
+        .unwrap();
+    let nc = run(kind, System::NightCore, 1.0e6, 2_000)
+        .latency
+        .mean()
+        .unwrap();
     assert!(ni < jord, "NI {ni} < Jord {jord}");
     assert!(jord < bt, "Jord {jord} < BT {bt}");
     assert!(nc > bt * 2, "NightCore {nc} must trail far behind BT {bt}");
