@@ -5,6 +5,8 @@ use core::fmt;
 use jord_hw::{InjectConfig, MachineConfig};
 use jord_privlib::{IsolationMode, PrivError, TableChoice};
 
+use crate::recovery::CrashConfig;
+
 /// A problem detected while validating or booting a runtime configuration.
 ///
 /// Typed (like [`jord_hw::Fault`]) so callers can match on the cause
@@ -37,6 +39,11 @@ pub enum ConfigError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The crash-recovery configuration is malformed.
+    Crash {
+        /// What is wrong with it.
+        reason: String,
+    },
     /// No functions are deployed in the registry.
     NoFunctions,
     /// PrivLib boot or initial VMA allocation failed.
@@ -58,6 +65,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroQueueBound => write!(f, "JBSQ bound must be positive"),
             ConfigError::Inject { reason } => write!(f, "invalid injection config: {reason}"),
             ConfigError::Recovery { reason } => write!(f, "invalid recovery policy: {reason}"),
+            ConfigError::Crash { reason } => write!(f, "invalid crash config: {reason}"),
             ConfigError::NoFunctions => write!(f, "no functions deployed"),
             ConfigError::Boot(e) => write!(f, "runtime boot failed: {e}"),
         }
@@ -182,10 +190,39 @@ impl Default for RecoveryPolicy {
 impl RecoveryPolicy {
     /// The delay before re-dispatching attempt `attempt + 1`: capped
     /// exponential backoff.
+    ///
+    /// The exponent is clamped to the saturation point — the smallest
+    /// number of doublings that already reaches the cap — *before* the
+    /// `2^attempt` is computed, so huge attempt counts can never push the
+    /// intermediate product through overflow into infinity (or, with a
+    /// zero base, into `0 × ∞ = NaN`).
     pub fn backoff(&self, attempt: u32) -> jord_sim::SimDuration {
-        let us =
-            (self.backoff_base_us * 2f64.powi(attempt.min(30) as i32)).min(self.backoff_cap_us);
+        let base = self.backoff_base_us;
+        let cap = self.backoff_cap_us;
+        if base <= 0.0 || cap <= 0.0 {
+            return jord_sim::SimDuration::ZERO;
+        }
+        let saturation = (cap / base).log2().ceil().max(0.0) as u32;
+        let us = if attempt >= saturation {
+            cap
+        } else {
+            // attempt < saturation ≤ ~2098 for any finite f64 pair, so the
+            // i32 cast is safe and the product stays finite.
+            (base * 2f64.powi(attempt as i32)).min(cap)
+        };
         jord_sim::SimDuration::from_ns_f64(us * 1_000.0)
+    }
+
+    /// The smallest attempt index whose backoff already equals the cap
+    /// (every later attempt waits exactly the cap).
+    pub fn backoff_saturation(&self) -> u32 {
+        if self.backoff_base_us <= 0.0 || self.backoff_cap_us <= 0.0 {
+            return 0;
+        }
+        (self.backoff_cap_us / self.backoff_base_us)
+            .log2()
+            .ceil()
+            .max(0.0) as u32
     }
 
     /// Checks the policy's numeric fields.
@@ -244,6 +281,15 @@ pub struct RuntimeConfig {
     pub inject: Option<InjectConfig>,
     /// Fault-handling policy (retry / deadline / shed knobs).
     pub recovery: RecoveryPolicy,
+    /// Crash recovery: turning this on activates the write-ahead
+    /// invocation journal and periodic checkpoints, and optionally injects
+    /// a component crash (`None` = no journal, the PR-1 behavior).
+    pub crash: Option<CrashConfig>,
+    /// PD snapshot sanitization (Groundhog-style): capture each PD's
+    /// pristine layout after setup and restore-by-diff at teardown,
+    /// pooling the sanitized PD for the next invocation of the same
+    /// function instead of destroying it.
+    pub sanitize: bool,
 }
 
 impl RuntimeConfig {
@@ -270,6 +316,8 @@ impl RuntimeConfig {
             spill: None,
             inject: None,
             recovery: RecoveryPolicy::default(),
+            crash: None,
+            sanitize: false,
         }
     }
 
@@ -301,6 +349,19 @@ impl RuntimeConfig {
     /// Overrides the fault-handling policy.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Enables the write-ahead journal (and, if the config plans one, a
+    /// component crash).
+    pub fn with_crash(mut self, crash: CrashConfig) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// Enables PD snapshot sanitization.
+    pub fn with_sanitize(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 
@@ -338,6 +399,11 @@ impl RuntimeConfig {
         self.recovery
             .validate()
             .map_err(|reason| ConfigError::Recovery { reason })?;
+        if let Some(crash) = &self.crash {
+            crash
+                .validate(self.orchestrators, self.executors())
+                .map_err(|reason| ConfigError::Crash { reason })?;
+        }
         Ok(())
     }
 }
@@ -437,5 +503,80 @@ mod tests {
         assert_eq!(p.backoff(2).as_ns_f64(), 8_000.0);
         assert_eq!(p.backoff(3).as_ns_f64(), 10_000.0, "capped");
         assert_eq!(p.backoff(30).as_ns_f64(), 10_000.0);
+    }
+
+    #[test]
+    fn backoff_saturates_exactly_at_the_clamp_point() {
+        // cap/base = 32: five doublings reach the cap, so attempt 5 is the
+        // first saturated one and every attempt before it still doubles.
+        let p = RecoveryPolicy {
+            backoff_base_us: 2.0,
+            backoff_cap_us: 64.0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff_saturation(), 5);
+        assert_eq!(p.backoff(4).as_ns_f64(), 32_000.0, "last unsaturated");
+        assert_eq!(p.backoff(5).as_ns_f64(), 64_000.0, "first saturated");
+        assert_eq!(p.backoff(6).as_ns_f64(), 64_000.0);
+    }
+
+    #[test]
+    fn backoff_of_huge_attempts_stays_finite_at_the_cap() {
+        let p = RecoveryPolicy {
+            backoff_base_us: 2.0,
+            backoff_cap_us: 64.0,
+            ..RecoveryPolicy::default()
+        };
+        // Before the clamp fix, 2^(2^31 - 1) overflowed to infinity.
+        for attempt in [31, 64, 1_000, u32::MAX] {
+            let ns = p.backoff(attempt).as_ns_f64();
+            assert!(ns.is_finite(), "attempt {attempt} gave {ns}");
+            assert_eq!(ns, 64_000.0);
+        }
+        // An extreme cap/base ratio must also survive: the doubling can
+        // overflow to ∞ mid-computation, but min(cap) recovers it and the
+        // zero-base guard prevents the 0 × ∞ NaN.
+        let p = RecoveryPolicy {
+            backoff_base_us: 1e-300,
+            backoff_cap_us: 1e300,
+            ..RecoveryPolicy::default()
+        };
+        assert!(p.backoff(u32::MAX).as_ns_f64().is_finite());
+    }
+
+    #[test]
+    fn backoff_degenerate_bases_yield_zero() {
+        let p = RecoveryPolicy {
+            backoff_base_us: 0.0,
+            backoff_cap_us: 64.0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff(0).as_ns_f64(), 0.0);
+        assert_eq!(p.backoff(u32::MAX).as_ns_f64(), 0.0);
+        assert_eq!(p.backoff_saturation(), 0);
+        // base == cap: saturated from the very first attempt.
+        let p = RecoveryPolicy {
+            backoff_base_us: 8.0,
+            backoff_cap_us: 8.0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff_saturation(), 0);
+        assert_eq!(p.backoff(0).as_ns_f64(), 8_000.0);
+    }
+
+    #[test]
+    fn validation_covers_crash_config() {
+        use crate::recovery::{CrashConfig, CrashSemantics};
+        use jord_hw::CrashPlan;
+        let c = RuntimeConfig::jord_32().with_crash(CrashConfig::default());
+        c.validate().expect("journal-only crash config valid");
+        // jord_32 has 28 executors: index 28 is out of range.
+        let c = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
+            CrashPlan::executor_at(5.0, 28),
+            CrashSemantics::AtLeastOnce,
+        ));
+        assert!(matches!(c.validate(), Err(ConfigError::Crash { .. })));
+        let msg = ConfigError::Crash { reason: "x".into() }.to_string();
+        assert!(msg.contains("crash"), "{msg}");
     }
 }

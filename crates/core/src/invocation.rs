@@ -126,6 +126,13 @@ pub struct Invocation {
     pub started_at: SimTime,
     /// Accumulated breakdown.
     pub breakdown: Breakdown,
+    /// Killed by an injected crash: conclusion must follow the crash
+    /// semantics knob (re-admit or fail) instead of the fault-retry policy.
+    pub crash_kill: bool,
+    /// The PD's pristine layout, captured right after setup when snapshot
+    /// sanitization is on; consumed at teardown to sanitize-and-pool the PD
+    /// instead of destroying it.
+    pub pd_snapshot: Option<jord_vma::PdSnapshot>,
 }
 
 impl Invocation {
@@ -153,6 +160,8 @@ impl Invocation {
             enqueued_at: now,
             started_at: now,
             breakdown: Breakdown::default(),
+            crash_kill: false,
+            pd_snapshot: None,
         }
     }
 }
@@ -214,6 +223,12 @@ impl InvocationSlab {
         self.slots[id.0].as_mut().expect("invocation live")
     }
 
+    /// True if `id` names a live invocation (kill-set walks must tolerate
+    /// entries concluded by an earlier kill in the same sweep).
+    pub fn contains(&self, id: InvocationId) -> bool {
+        self.slots.get(id.0).is_some_and(|s| s.is_some())
+    }
+
     /// Number of live invocations.
     pub fn len(&self) -> usize {
         self.live
@@ -222,6 +237,28 @@ impl InvocationSlab {
     /// True if no invocations are live.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Iterates over every live invocation in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (InvocationId, &Invocation)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|inv| (InvocationId(i), inv)))
+    }
+
+    /// Ids of every live invocation in slot order (stable snapshot for
+    /// walks that mutate the slab, e.g. crash kill-sets).
+    pub fn ids(&self) -> Vec<InvocationId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+
+    /// Removes every live invocation at once (whole-worker crash); the
+    /// slab comes back empty with all slots reusable.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
     }
 }
 

@@ -47,7 +47,9 @@ pub mod config;
 pub mod executor;
 pub mod function;
 pub mod invocation;
+pub mod journal;
 pub mod orchestrator;
+pub mod recovery;
 pub mod server;
 pub mod stats;
 
@@ -56,6 +58,11 @@ pub use config::{ConfigError, RecoveryPolicy, RuntimeConfig, SpillConfig, System
 pub use executor::Executor;
 pub use function::{FuncOp, FunctionId, FunctionRegistry, FunctionSpec};
 pub use invocation::{Invocation, InvocationId};
+pub use journal::{
+    InvocationJournal, JournalRecord, PendingInvocation, PendingRetry, RecoveredState,
+    WorkerCheckpoint,
+};
 pub use orchestrator::Orchestrator;
+pub use recovery::{CrashConfig, CrashSemantics};
 pub use server::WorkerServer;
-pub use stats::{FaultStats, FunctionBreakdown, RunReport};
+pub use stats::{CrashStats, FaultStats, FunctionBreakdown, RunReport, SanitizeStats};

@@ -1,0 +1,176 @@
+//! Crash semantics and recovery configuration.
+//!
+//! PR-1's fault machinery contains *invocation-level* misbehavior (wild
+//! accesses, runaways). This module configures the next tier up: whole
+//! component crashes — an executor, an orchestrator, or the entire worker
+//! server dying at a chosen simulated instant — and how the runtime's
+//! write-ahead journal brings the survivor back ([`crate::journal`]).
+
+use jord_hw::{CrashPlan, CrashScope};
+
+/// What the recovery path promises about requests in flight at the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSemantics {
+    /// An interrupted request is never re-executed: it counts as failed.
+    /// (The client would see an error and decide for itself.)
+    AtMostOnce,
+    /// An interrupted request is re-dispatched after the restart penalty,
+    /// keeping its original arrival time and attempt count — the crash is
+    /// not the request's fault, so it does not consume a retry budget.
+    AtLeastOnce,
+}
+
+impl CrashSemantics {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashSemantics::AtMostOnce => "at-most-once",
+            CrashSemantics::AtLeastOnce => "at-least-once",
+        }
+    }
+}
+
+/// Crash-recovery configuration: when (and what) to crash, what to promise
+/// about in-flight work, and how the journal checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashConfig {
+    /// The injected crash, if any. `None` still turns the journal on —
+    /// useful for auditing a run's request ledger without killing anything.
+    pub plan: Option<CrashPlan>,
+    /// In-flight request semantics across the crash boundary.
+    pub semantics: CrashSemantics,
+    /// Take a checkpoint every this many journal records.
+    pub checkpoint_every: usize,
+    /// Downtime of the crashed component before it serves again, µs
+    /// (process restart + journal replay, charged in simulated time).
+    pub restart_penalty_us: f64,
+}
+
+impl Default for CrashConfig {
+    fn default() -> Self {
+        CrashConfig {
+            plan: None,
+            semantics: CrashSemantics::AtLeastOnce,
+            checkpoint_every: 64,
+            restart_penalty_us: 50.0,
+        }
+    }
+}
+
+impl CrashConfig {
+    /// Journaling with no injected crash (ledger-audit mode).
+    pub fn journal_only() -> Self {
+        CrashConfig::default()
+    }
+
+    /// Crashes per `plan` with `semantics`, default cadence and penalty.
+    pub fn new(plan: CrashPlan, semantics: CrashSemantics) -> Self {
+        CrashConfig {
+            plan: Some(plan),
+            semantics,
+            ..CrashConfig::default()
+        }
+    }
+
+    /// Overrides the checkpoint cadence.
+    pub fn checkpoint_every(mut self, records: usize) -> Self {
+        self.checkpoint_every = records;
+        self
+    }
+
+    /// Overrides the restart penalty.
+    pub fn restart_penalty_us(mut self, us: f64) -> Self {
+        self.restart_penalty_us = us;
+        self
+    }
+
+    /// Checks the config against the server's component counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self, orchestrators: usize, executors: usize) -> Result<(), String> {
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be positive".into());
+        }
+        // `is_finite` also rejects NaN.
+        if !self.restart_penalty_us.is_finite() || self.restart_penalty_us < 0.0 {
+            return Err(format!(
+                "restart_penalty_us must be finite and non-negative, got {}",
+                self.restart_penalty_us
+            ));
+        }
+        if let Some(plan) = &self.plan {
+            plan.validate()?;
+            match plan.scope {
+                CrashScope::Executor(e) if e >= executors => {
+                    return Err(format!(
+                        "crash targets executor {e} but only {executors} exist"
+                    ));
+                }
+                CrashScope::Orchestrator(o) if o >= orchestrators => {
+                    return Err(format!(
+                        "crash targets orchestrator {o} but only {orchestrators} exist"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_journal_only() {
+        let c = CrashConfig::default();
+        assert_eq!(c.plan, None);
+        assert_eq!(c.semantics, CrashSemantics::AtLeastOnce);
+        c.validate(4, 28).expect("default config valid");
+        assert_eq!(CrashConfig::journal_only(), c);
+    }
+
+    #[test]
+    fn validation_checks_scope_indices() {
+        let c = CrashConfig::new(
+            CrashPlan::executor_at(10.0, 28),
+            CrashSemantics::AtLeastOnce,
+        );
+        assert!(
+            c.validate(4, 28).is_err(),
+            "executor 28 of 28 is out of range"
+        );
+        c.validate(4, 29).expect("executor 28 of 29 exists");
+        let c = CrashConfig::new(
+            CrashPlan::orchestrator_at(10.0, 4),
+            CrashSemantics::AtMostOnce,
+        );
+        assert!(c.validate(4, 28).is_err());
+        let c = CrashConfig::new(CrashPlan::worker_at(10.0), CrashSemantics::AtMostOnce);
+        c.validate(1, 1).expect("worker scope needs no index");
+    }
+
+    #[test]
+    fn validation_rejects_bad_numbers() {
+        let c = CrashConfig::default().checkpoint_every(0);
+        assert!(c.validate(4, 28).is_err());
+        let c = CrashConfig::default().restart_penalty_us(f64::NAN);
+        assert!(c.validate(4, 28).is_err());
+        let c = CrashConfig::default().restart_penalty_us(-1.0);
+        assert!(c.validate(4, 28).is_err());
+        let c = CrashConfig::new(
+            CrashPlan::worker_at(f64::INFINITY),
+            CrashSemantics::AtLeastOnce,
+        );
+        assert!(c.validate(4, 28).is_err(), "plan validation must run too");
+    }
+
+    #[test]
+    fn labels_read_well() {
+        assert_eq!(CrashSemantics::AtMostOnce.label(), "at-most-once");
+        assert_eq!(CrashSemantics::AtLeastOnce.label(), "at-least-once");
+    }
+}

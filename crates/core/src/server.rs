@@ -2,17 +2,22 @@
 //! executors, PrivLib, and the hardware model together (Figures 3 & 4).
 
 use jord_hw::types::{CoreId, PdId, Perm, Va};
-use jord_hw::{Csr, Fault, FaultInjector, FaultKind, InjectionPlan, Machine};
+use jord_hw::{
+    CrashPlan, CrashScope, Csr, Fault, FaultInjector, FaultKind, InjectionPlan, Machine,
+};
 use jord_privlib::{os, PrivError, PrivLib};
 use jord_sim::{EventQueue, Rng, SimDuration, SimTime};
+use jord_vma::PdSnapshot;
 
 use crate::argbuf::ArgBuf;
 use crate::config::{ConfigError, RuntimeConfig};
 use crate::executor::Executor;
 use crate::function::{FuncOp, FunctionId, FunctionRegistry};
 use crate::invocation::{Invocation, InvocationId, InvocationSlab, Origin, Phase};
+use crate::journal::{InvocationJournal, PendingRetry, WorkerCheckpoint};
 use crate::orchestrator::Orchestrator;
-use crate::stats::RunReport;
+use crate::recovery::CrashSemantics;
+use crate::stats::{CrashStats, RunReport, SanitizeStats};
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +41,9 @@ enum Event {
         arrival: SimTime,
         /// Which attempt this dispatch is (first retry = 1).
         attempt: u32,
+        /// The pending-retry token the journal tracks it under (0 when
+        /// journaling is off).
+        token: u64,
     },
 }
 
@@ -48,6 +56,9 @@ enum AbortCause {
     Timeout,
     /// A nested call failed; the parent cannot make progress.
     ChildFailed,
+    /// The component hosting the invocation crashed; conclusion follows
+    /// the crash-semantics knob, not the fault-retry policy.
+    Crash,
 }
 
 /// Base of the runtime's shared-memory region (queue lines, inbox lines).
@@ -91,6 +102,33 @@ pub struct WorkerServer {
     /// External completions to discard before measuring (cache warm-up).
     warmup: u64,
     warmed: u64,
+    /// Write-ahead invocation journal (active iff `cfg.crash` is set).
+    journal: Option<InvocationJournal>,
+    /// Latest checkpoint (recovery restores from here).
+    checkpoint: Option<WorkerCheckpoint>,
+    /// The injected crash that has not fired yet.
+    crash_pending: Option<CrashPlan>,
+    /// Crash/recovery counters (kept outside `report` so a worker-crash
+    /// restore, which replaces the report, cannot lose them).
+    crash_stats: CrashStats,
+    /// PD-sanitization counters (same survival rationale).
+    sanitize_stats: SanitizeStats,
+    /// Per-function pools of sanitized PDs: `(pd, stackheap, snapshot)`
+    /// triples whose code grant and stack/heap mapping are still intact.
+    pd_pools: Vec<Vec<(PdId, Va, PdSnapshot)>>,
+}
+
+/// Everything a pristine process image contains: the booted machine and
+/// PrivLib, the deployed code VMAs, and the orchestrator/executor layout.
+/// Built once at [`WorkerServer::new`] and again on every whole-worker
+/// crash — recovery is restore-to-pristine-image plus journal replay.
+struct BootParts {
+    machine: Machine,
+    privlib: PrivLib,
+    code_vmas: Vec<Va>,
+    privlib_code: Va,
+    orchs: Vec<Orchestrator>,
+    execs: Vec<Executor>,
 }
 
 impl WorkerServer {
@@ -104,6 +142,52 @@ impl WorkerServer {
         if registry.is_empty() {
             return Err(ConfigError::NoFunctions);
         }
+        let parts = Self::boot_parts(&cfg, &registry)?;
+        let admission = (8 * cfg.executors() / cfg.orchestrators).max(16);
+        let seed = cfg.seed;
+        let mut rng = Rng::new(seed);
+        // The injector gets its own stream: the same seed yields the same
+        // fault schedule no matter how workload sampling evolves.
+        let injector = cfg
+            .inject
+            .map(|ic| FaultInjector::new(ic, rng.fork(0xFA_17)));
+        let journal = cfg.crash.map(|_| InvocationJournal::new());
+        let crash_pending = cfg.crash.and_then(|c| c.plan);
+        let pd_pools = (0..registry.len()).map(|_| Vec::new()).collect();
+        Ok(WorkerServer {
+            cfg,
+            machine: parts.machine,
+            privlib: parts.privlib,
+            registry,
+            code_vmas: parts.code_vmas,
+            privlib_code: parts.privlib_code,
+            orchs: parts.orchs,
+            execs: parts.execs,
+            slab: InvocationSlab::new(),
+            queue: EventQueue::new(),
+            rng,
+            injector,
+            report: RunReport::new(),
+            admission,
+            rr_orch: 0,
+            warmup: 0,
+            warmed: 0,
+            journal,
+            checkpoint: None,
+            crash_pending,
+            crash_stats: CrashStats::default(),
+            sanitize_stats: SanitizeStats::default(),
+            pd_pools,
+        })
+    }
+
+    /// Boots a pristine process image for `cfg`: fresh machine, fresh
+    /// PrivLib (bootstrap VMAs reinstalled), per-function code VMAs, and
+    /// the core-affine orchestrator/executor layout.
+    fn boot_parts(
+        cfg: &RuntimeConfig,
+        registry: &FunctionRegistry,
+    ) -> Result<BootParts, ConfigError> {
         let mut machine = Machine::new(cfg.machine.clone());
         let (mut privlib, boot_vmas) = os::boot_full(
             &mut machine,
@@ -160,32 +244,13 @@ impl WorkerServer {
             })
             .collect();
 
-        let admission = (8 * n_exec / n_orch).max(16);
-        let seed = cfg.seed;
-        let mut rng = Rng::new(seed);
-        // The injector gets its own stream: the same seed yields the same
-        // fault schedule no matter how workload sampling evolves.
-        let injector = cfg
-            .inject
-            .map(|ic| FaultInjector::new(ic, rng.fork(0xFA_17)));
-        Ok(WorkerServer {
-            cfg,
+        Ok(BootParts {
             machine,
             privlib,
-            registry,
             code_vmas,
             privlib_code: boot_vmas.privlib_code,
             orchs,
             execs,
-            slab: InvocationSlab::new(),
-            queue: EventQueue::new(),
-            rng,
-            injector,
-            report: RunReport::new(),
-            admission,
-            rr_orch: 0,
-            warmup: 0,
-            warmed: 0,
         })
     }
 
@@ -210,7 +275,26 @@ impl WorkerServer {
     /// Runs the simulation to completion (all injected requests finished)
     /// and returns the measurement report.
     pub fn run(&mut self) -> RunReport {
-        while let Some((t, ev)) = self.queue.pop() {
+        // Journaled runs start from a checkpoint so recovery always has a
+        // base image to replay from.
+        if self.journal.is_some() && self.checkpoint.is_none() {
+            self.take_checkpoint(self.queue.now());
+        }
+        loop {
+            // An armed crash fires the moment the next event would run at
+            // or past its instant — i.e. between events, where the DES
+            // guarantees no invocation is mid-segment.
+            if let Some(plan) = self.crash_pending {
+                let due = SimTime::ZERO + SimDuration::from_ns_f64(plan.at_us * 1_000.0);
+                if self.queue.peek_time().is_some_and(|next| next >= due) {
+                    self.crash_pending = None;
+                    self.crash_now(due.max(self.queue.now()), plan.scope);
+                    continue;
+                }
+            }
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
             match ev {
                 Event::Arrival { func, bytes } => self.on_arrival(t, func, bytes),
                 Event::OrchWake(i) => self.on_orch_wake(t, i),
@@ -221,9 +305,18 @@ impl WorkerServer {
                     bytes,
                     arrival,
                     attempt,
-                } => self.admit(t, func, bytes, arrival, attempt),
+                    token,
+                } => {
+                    if let Some(j) = self.journal.as_mut() {
+                        j.retry_fired(token);
+                    }
+                    self.admit(t, func, bytes, arrival, attempt);
+                }
             }
+            self.maybe_checkpoint(t);
         }
+        // Return pooled sanitized PDs before the leak accounting below.
+        self.drain_pd_pools();
         debug_assert!(self.slab.is_empty(), "all invocations must complete");
         debug_assert_eq!(
             self.report.offered,
@@ -235,6 +328,12 @@ impl WorkerServer {
             report.dispatch_ns.merge(&o.dispatch_ns);
         }
         report.shootdown_ns = self.machine.stats().shootdown_ns;
+        report.crash = self.crash_stats;
+        if let Some(j) = &self.journal {
+            report.crash.journal_records = j.len() as u64;
+            report.crash.checkpoints = j.checkpoints();
+        }
+        report.sanitize = self.sanitize_stats;
         report.finished_at = self.queue.now();
         report
     }
@@ -299,7 +398,11 @@ impl WorkerServer {
         self.rr_orch = (self.rr_orch + 1) % self.orchs.len();
         if let Some(bound) = self.cfg.recovery.shed_bound {
             if self.orchs[orch].external.len() >= bound {
-                if self.measuring() {
+                let measured = self.measuring();
+                if let Some(j) = self.journal.as_mut() {
+                    j.shed(func, measured);
+                }
+                if measured {
                     self.report.faults.sheds += 1;
                 } else {
                     self.report.offered -= 1;
@@ -315,6 +418,9 @@ impl WorkerServer {
         );
         inv.attempt = attempt;
         let id = self.slab.insert(inv);
+        if let Some(j) = self.journal.as_mut() {
+            j.admit(id, func, bytes, arrival, attempt);
+        }
         self.orchs[orch].external.push_back(id);
         self.wake_orch(orch, t);
     }
@@ -342,6 +448,9 @@ impl WorkerServer {
             cost += c;
             cost += self.machine.write(core, va, bytes);
             self.slab.get_mut(inv_id).argbuf = ArgBuf::new(va, bytes);
+            if let Some(j) = self.journal.as_mut() {
+                j.argbuf_grant(inv_id, va, bytes);
+            }
         }
 
         // JBSQ: read every managed executor's queue depth, pick the
@@ -422,6 +531,9 @@ impl WorkerServer {
                 }
                 if !is_internal {
                     self.orchs[i].in_flight += 1;
+                    if let Some(j) = self.journal.as_mut() {
+                        j.dispatch(inv_id, e);
+                    }
                 }
                 self.orchs[i].dispatch_ns.record(cost.as_ns_f64());
                 self.orchs[i].next_free = done;
@@ -490,59 +602,117 @@ impl WorkerServer {
         let spec_stack = self.registry.spec(func).stack() + self.registry.spec(func).heap();
         let code_va = self.code_vmas[func.0 as usize];
 
-        // PD creation + private stack/heap (one VMA covering both).
-        let (pd, c) = self
-            .privlib
-            .cget(&mut self.machine, core)
-            .expect("PD pool sized for the admission window");
-        iso += c;
-        // Memory management (also paid by Jord_NI) counts as exec; only
-        // the isolation mechanism itself (PD ops, permission transfers,
-        // walks) counts as isolation overhead.
-        let (stackheap, c) = self
-            .privlib
-            .mmap(&mut self.machine, core, spec_stack, Perm::RW, pd)
-            .expect("stack/heap allocation");
-        exec += c;
-        // Make the function code accessible to the PD …
-        iso += self
-            .privlib
-            .pcopy(
-                &mut self.machine,
-                core,
-                code_va,
-                PdId::RUNTIME,
-                pd,
-                Perm::RX,
-            )
-            .expect("code grant");
-        // … and hand over the ArgBuf (zero-copy: one VTE write).
-        iso += self
-            .privlib
-            .pmove(
-                &mut self.machine,
-                core,
-                argbuf.va(),
-                PdId::RUNTIME,
-                pd,
-                Perm::RW,
-            )
-            .expect("ArgBuf transfer");
-        // Enter the PD.
-        iso += self
-            .privlib
-            .ccall(&mut self.machine, core, pd)
-            .expect("ccall");
-        // First touches: every PrivLib API in the setup sequence (cget,
-        // mmap, pcopy, pmove, ccall) is a gated control transfer — one
-        // PrivLib-code fetch plus one function-code refetch each — followed
-        // by the function's stack and ArgBuf D-VLB touches.
-        for _ in 0..5 {
-            iso += self.privlib_round_trip(core, pd, code_va);
+        // Snapshot sanitization keeps a pool of PDs whose pristine layout
+        // (code grant + stack/heap) survived the previous invocation; a
+        // pooled PD skips cget, the stack/heap mmap, and the code pcopy.
+        let pooled = if self.cfg.sanitize {
+            self.pd_pools[func.0 as usize].pop()
+        } else {
+            None
+        };
+        let (pd, stackheap) = match pooled {
+            Some((pd, stackheap, snapshot)) => {
+                // Only the per-invocation steps remain: ArgBuf hand-over
+                // and entry, two gated transfers instead of five.
+                iso += self
+                    .privlib
+                    .pmove(
+                        &mut self.machine,
+                        core,
+                        argbuf.va(),
+                        PdId::RUNTIME,
+                        pd,
+                        Perm::RW,
+                    )
+                    .expect("ArgBuf transfer");
+                iso += self
+                    .privlib
+                    .ccall(&mut self.machine, core, pd)
+                    .expect("ccall");
+                for _ in 0..2 {
+                    iso += self.privlib_round_trip(core, pd, code_va);
+                }
+                iso += self.translate_fetch(core, pd, code_va);
+                iso += self.translate_access(core, pd, stackheap, Perm::RW);
+                iso += self.translate_access(core, pd, argbuf.va(), Perm::RW);
+                self.slab.get_mut(id).pd_snapshot = Some(snapshot);
+                self.sanitize_stats.pooled_setups += 1;
+                self.sanitize_stats.pooled_setup_ns += (exec + iso).as_ns_f64();
+                (pd, stackheap)
+            }
+            None => {
+                // PD creation + private stack/heap (one VMA covering both).
+                let (pd, c) = self
+                    .privlib
+                    .cget(&mut self.machine, core)
+                    .expect("PD pool sized for the admission window");
+                iso += c;
+                // Memory management (also paid by Jord_NI) counts as exec;
+                // only the isolation mechanism itself (PD ops, permission
+                // transfers, walks) counts as isolation overhead.
+                let (stackheap, c) = self
+                    .privlib
+                    .mmap(&mut self.machine, core, spec_stack, Perm::RW, pd)
+                    .expect("stack/heap allocation");
+                exec += c;
+                // Make the function code accessible to the PD …
+                iso += self
+                    .privlib
+                    .pcopy(
+                        &mut self.machine,
+                        core,
+                        code_va,
+                        PdId::RUNTIME,
+                        pd,
+                        Perm::RX,
+                    )
+                    .expect("code grant");
+                // The pristine layout — code grant + stack/heap, before any
+                // per-invocation grants — is what sanitization restores to.
+                if self.cfg.sanitize {
+                    let snapshot = self.privlib.snapshot_pd(pd);
+                    self.slab.get_mut(id).pd_snapshot = Some(snapshot);
+                }
+                // … and hand over the ArgBuf (zero-copy: one VTE write).
+                iso += self
+                    .privlib
+                    .pmove(
+                        &mut self.machine,
+                        core,
+                        argbuf.va(),
+                        PdId::RUNTIME,
+                        pd,
+                        Perm::RW,
+                    )
+                    .expect("ArgBuf transfer");
+                // Enter the PD.
+                iso += self
+                    .privlib
+                    .ccall(&mut self.machine, core, pd)
+                    .expect("ccall");
+                // First touches: every PrivLib API in the setup sequence
+                // (cget, mmap, pcopy, pmove, ccall) is a gated control
+                // transfer — one PrivLib-code fetch plus one function-code
+                // refetch each — followed by the function's stack and
+                // ArgBuf D-VLB touches.
+                for _ in 0..5 {
+                    iso += self.privlib_round_trip(core, pd, code_va);
+                }
+                iso += self.translate_fetch(core, pd, code_va);
+                iso += self.translate_access(core, pd, stackheap, Perm::RW);
+                iso += self.translate_access(core, pd, argbuf.va(), Perm::RW);
+                if self.cfg.sanitize {
+                    self.sanitize_stats.full_setups += 1;
+                    self.sanitize_stats.full_setup_ns += (exec + iso).as_ns_f64();
+                }
+                (pd, stackheap)
+            }
+        };
+        if matches!(self.slab.get(id).origin, Origin::External { .. }) {
+            if let Some(j) = self.journal.as_mut() {
+                j.pd_create(id, pd.0);
+            }
         }
-        iso += self.translate_fetch(core, pd, code_va);
-        iso += self.translate_access(core, pd, stackheap, Perm::RW);
-        iso += self.translate_access(core, pd, argbuf.va(), Perm::RW);
 
         {
             let inv = self.slab.get_mut(id);
@@ -822,34 +992,7 @@ impl WorkerServer {
         };
         let code_va = self.code_vmas[func.0 as usize];
 
-        // The teardown sequence (cexit, pmove, revoke, munmap, cput) is
-        // five more gated transfers through PrivLib code.
-        for _ in 0..5 {
-            iso += self.privlib_round_trip(core, pd, code_va);
-        }
-        // Control returns to the executor.
-        iso += self.privlib.cexit(&mut self.machine, core);
-        // Transfer the ArgBuf back, revoke code, free stack/heap, drop PD.
-        iso += self
-            .privlib
-            .pmove(
-                &mut self.machine,
-                core,
-                argbuf.va(),
-                pd,
-                PdId::RUNTIME,
-                Perm::RW,
-            )
-            .expect("ArgBuf return");
-        iso += self
-            .privlib
-            .mprotect(&mut self.machine, core, code_va, Perm::NONE, pd)
-            .expect("code revoke");
         let mut mem = SimDuration::ZERO;
-        mem += self
-            .privlib
-            .munmap(&mut self.machine, core, stackheap, PdId::RUNTIME)
-            .expect("stack/heap free");
         // Free any leaked temps and unconsumed child buffers.
         let (temps, pending) = {
             let inv = self.slab.get_mut(id);
@@ -858,22 +1001,102 @@ impl WorkerServer {
                 std::mem::take(&mut inv.pending_free),
             )
         };
-        for va in temps {
-            mem += self
-                .privlib
-                .munmap(&mut self.machine, core, va, PdId::RUNTIME)
-                .expect("temp cleanup");
+        let snapshot = if self.cfg.sanitize {
+            self.slab.get_mut(id).pd_snapshot.take()
+        } else {
+            None
+        };
+        match snapshot {
+            Some(snapshot) => {
+                // Sanitize-and-pool (Groundhog): cexit, return the ArgBuf,
+                // free scratch explicitly (under bypassed isolation the
+                // snapshot diff cannot see per-invocation grants), then
+                // verify-and-repair the pristine layout. The code grant,
+                // stack/heap, and the PD itself survive for the next
+                // invocation of this function.
+                for _ in 0..3 {
+                    iso += self.privlib_round_trip(core, pd, code_va);
+                }
+                iso += self.privlib.cexit(&mut self.machine, core);
+                iso += self
+                    .privlib
+                    .pmove(
+                        &mut self.machine,
+                        core,
+                        argbuf.va(),
+                        pd,
+                        PdId::RUNTIME,
+                        Perm::RW,
+                    )
+                    .expect("ArgBuf return");
+                for va in temps {
+                    mem += self
+                        .privlib
+                        .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                        .expect("temp cleanup");
+                }
+                for (va, _) in pending {
+                    mem += self
+                        .privlib
+                        .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                        .expect("child ArgBuf cleanup");
+                }
+                let (scan, repairs) = self
+                    .privlib
+                    .sanitize_pd(&mut self.machine, core, &snapshot)
+                    .expect("sanitize scan of a live PD");
+                iso += scan;
+                self.sanitize_stats.sanitizations += 1;
+                self.sanitize_stats.repairs += repairs as u64;
+                self.pd_pools[func.0 as usize].push((pd, stackheap, snapshot));
+            }
+            None => {
+                // The teardown sequence (cexit, pmove, revoke, munmap,
+                // cput) is five more gated transfers through PrivLib code.
+                for _ in 0..5 {
+                    iso += self.privlib_round_trip(core, pd, code_va);
+                }
+                // Control returns to the executor.
+                iso += self.privlib.cexit(&mut self.machine, core);
+                // Transfer the ArgBuf back, revoke code, free stack/heap,
+                // drop PD.
+                iso += self
+                    .privlib
+                    .pmove(
+                        &mut self.machine,
+                        core,
+                        argbuf.va(),
+                        pd,
+                        PdId::RUNTIME,
+                        Perm::RW,
+                    )
+                    .expect("ArgBuf return");
+                iso += self
+                    .privlib
+                    .mprotect(&mut self.machine, core, code_va, Perm::NONE, pd)
+                    .expect("code revoke");
+                mem += self
+                    .privlib
+                    .munmap(&mut self.machine, core, stackheap, PdId::RUNTIME)
+                    .expect("stack/heap free");
+                for va in temps {
+                    mem += self
+                        .privlib
+                        .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                        .expect("temp cleanup");
+                }
+                for (va, _) in pending {
+                    mem += self
+                        .privlib
+                        .munmap(&mut self.machine, core, va, PdId::RUNTIME)
+                        .expect("child ArgBuf cleanup");
+                }
+                iso += self
+                    .privlib
+                    .cput(&mut self.machine, core, pd)
+                    .expect("PD destroy");
+            }
         }
-        for (va, _) in pending {
-            mem += self
-                .privlib
-                .munmap(&mut self.machine, core, va, PdId::RUNTIME)
-                .expect("child ArgBuf cleanup");
-        }
-        iso += self
-            .privlib
-            .cput(&mut self.machine, core, pd)
-            .expect("PD destroy");
         acc += iso + mem;
         {
             let inv = self.slab.get_mut(id);
@@ -895,7 +1118,11 @@ impl WorkerServer {
                 acc += d;
                 self.slab.get_mut(id).breakdown.exec += d;
                 let done = t + acc;
-                if self.measuring() {
+                let measured = self.measuring();
+                if let Some(j) = self.journal.as_mut() {
+                    j.complete(id, measured);
+                }
+                if measured {
                     self.report.record_request(done.saturating_since(arrival));
                 } else {
                     self.warmed += 1;
@@ -1040,12 +1267,14 @@ impl WorkerServer {
     ) {
         let core = self.execs[e].core;
         let mut acc = offset;
-        if self.measuring() {
+        // A crash is not the invocation's fault: it lands in the crash
+        // counters, not the per-invocation fault ledger.
+        if self.measuring() && !matches!(cause, AbortCause::Crash) {
             self.report.faults.aborted += 1;
             match cause {
                 AbortCause::Fault(kind) => self.report.faults.count(kind),
                 AbortCause::Timeout => self.report.faults.timeouts += 1,
-                AbortCause::ChildFailed => {}
+                AbortCause::ChildFailed | AbortCause::Crash => {}
             }
         }
 
@@ -1139,14 +1368,34 @@ impl WorkerServer {
     /// as failed; internal ones propagate the failure to their parent.
     fn conclude_failure(&mut self, t: SimTime, core: CoreId, id: InvocationId) {
         let inv = self.slab.remove(id);
+        if inv.crash_kill {
+            // Killed by an injected crash: conclusion follows the crash
+            // semantics knob, not the fault-retry policy.
+            self.conclude_crashed(t, core, inv, id);
+            return;
+        }
         match inv.origin {
             Origin::External { orch, arrival } => {
                 self.orchs[orch].in_flight -= 1;
                 if inv.attempt < self.cfg.recovery.max_retries {
-                    if self.measuring() {
+                    let measured = self.measuring();
+                    if measured {
                         self.report.faults.retries += 1;
                     }
                     let at = t + self.cfg.recovery.backoff(inv.attempt);
+                    let token = self.journal.as_mut().map_or(0, |j| {
+                        j.retry_scheduled(
+                            id,
+                            PendingRetry {
+                                func: inv.func,
+                                bytes: inv.argbuf.len(),
+                                arrival,
+                                attempt: inv.attempt + 1,
+                                due: at,
+                            },
+                            measured,
+                        )
+                    });
                     self.queue.push(
                         at,
                         Event::Retry {
@@ -1154,15 +1403,23 @@ impl WorkerServer {
                             bytes: inv.argbuf.len(),
                             arrival,
                             attempt: inv.attempt + 1,
+                            token,
                         },
                     );
-                } else if self.measuring() {
-                    self.report.faults.failed += 1;
                 } else {
-                    // Warmup symmetry: an unmeasured terminal failure slides
-                    // the warmup window exactly like an unmeasured success.
-                    self.warmed += 1;
-                    self.report.offered -= 1;
+                    let measured = self.measuring();
+                    if let Some(j) = self.journal.as_mut() {
+                        j.fail(id, measured);
+                    }
+                    if measured {
+                        self.report.faults.failed += 1;
+                    } else {
+                        // Warmup symmetry: an unmeasured terminal failure
+                        // slides the warmup window exactly like an
+                        // unmeasured success.
+                        self.warmed += 1;
+                        self.report.offered -= 1;
+                    }
                 }
                 if self.orchs[orch].has_work() {
                     self.wake_orch(orch, t);
@@ -1232,6 +1489,423 @@ impl WorkerServer {
             }
         }
         cost
+    }
+
+    // ------------------------------------------------------------------
+    // Crash injection + recovery (journal, checkpoints, reboot)
+    // ------------------------------------------------------------------
+
+    /// In-flight semantics across crashes (at-least-once when no crash
+    /// config exists — the paths below only run when one does).
+    fn crash_semantics(&self) -> CrashSemantics {
+        self.cfg
+            .crash
+            .map(|c| c.semantics)
+            .unwrap_or(CrashSemantics::AtLeastOnce)
+    }
+
+    /// Downtime of a crashed component before it serves again.
+    fn restart_penalty(&self) -> SimDuration {
+        SimDuration::from_ns_f64(
+            self.cfg.crash.map(|c| c.restart_penalty_us).unwrap_or(0.0) * 1_000.0,
+        )
+    }
+
+    /// Checkpoints after `checkpoint_every` journal records accumulate.
+    fn maybe_checkpoint(&mut self, t: SimTime) {
+        let Some(cc) = self.cfg.crash else { return };
+        if self
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.due_checkpoint(cc.checkpoint_every))
+        {
+            self.take_checkpoint(t);
+        }
+    }
+
+    /// Snapshots the worker's hot state: the report, RNG streams, warmup
+    /// progress, the journal's live tables, and the VMA-table image whose
+    /// durable footprint a post-crash reboot must reproduce. Checkpointing
+    /// is free in simulated time (a real implementation would write it
+    /// off the critical path).
+    fn take_checkpoint(&mut self, t: SimTime) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        let at_record = journal.mark_checkpoint();
+        let cp = WorkerCheckpoint {
+            taken_at: t,
+            at_record,
+            report: self.report.clone(),
+            rng: self.rng.clone(),
+            injector: self.injector.clone(),
+            warmed: self.warmed,
+            in_flight: journal.in_flight().values().copied().collect(),
+            pending: journal.pending().iter().map(|(&k, &v)| (k, v)).collect(),
+            vma: self.privlib.table_snapshot(),
+            free_slots: self.privlib.free_slot_counts(),
+            live_pds: self.privlib.live_pd_ids(),
+            queue_depths: self
+                .orchs
+                .iter()
+                .map(|o| (o.external.len(), o.internal.len()))
+                .collect(),
+        };
+        self.checkpoint = Some(cp);
+    }
+
+    /// Fires the armed crash at `t` (an event boundary, so every live
+    /// invocation is exactly Queued, Suspended, or Faulted).
+    fn crash_now(&mut self, t: SimTime, scope: CrashScope) {
+        if let Some(j) = self.journal.as_mut() {
+            j.crash(scope.label());
+        }
+        self.crash_stats.crashes += 1;
+        match scope {
+            CrashScope::Executor(e) => self.crash_executor(t, e),
+            CrashScope::Orchestrator(o) => self.crash_orchestrator(t, o),
+            CrashScope::Worker => self.crash_worker(t),
+        }
+    }
+
+    /// Settles a crash-killed external request per the semantics knob
+    /// (re-admit or fail); crash-killed internal work propagates failure
+    /// to the parent like any faulted child. `inv` is already out of the
+    /// slab.
+    fn conclude_crashed(&mut self, t: SimTime, core: CoreId, inv: Invocation, id: InvocationId) {
+        match inv.origin {
+            Origin::External { orch, arrival } => {
+                // Never-dispatched requests (still in an orchestrator
+                // deque) were not counted in flight.
+                if inv.executor != usize::MAX {
+                    self.orchs[orch].in_flight -= 1;
+                }
+                match self.crash_semantics() {
+                    CrashSemantics::AtLeastOnce => {
+                        // Re-admission is not the request's fault: it keeps
+                        // its attempt count and shows up in
+                        // `crash.readmitted`, not `faults.retries`.
+                        let due = t + self.restart_penalty();
+                        let token = self.journal.as_mut().map_or(0, |j| {
+                            j.retry_scheduled(
+                                id,
+                                PendingRetry {
+                                    func: inv.func,
+                                    bytes: inv.argbuf.len(),
+                                    arrival,
+                                    attempt: inv.attempt,
+                                    due,
+                                },
+                                false,
+                            )
+                        });
+                        self.queue.push(
+                            due,
+                            Event::Retry {
+                                func: inv.func,
+                                bytes: inv.argbuf.len(),
+                                arrival,
+                                attempt: inv.attempt,
+                                token,
+                            },
+                        );
+                        self.crash_stats.readmitted += 1;
+                    }
+                    CrashSemantics::AtMostOnce => {
+                        let measured = self.measuring();
+                        if let Some(j) = self.journal.as_mut() {
+                            j.fail(id, measured);
+                        }
+                        if measured {
+                            self.report.faults.failed += 1;
+                        } else {
+                            self.warmed += 1;
+                            self.report.offered -= 1;
+                        }
+                    }
+                }
+            }
+            Origin::Internal { parent, .. } => {
+                self.deliver_child_result(t, core, parent, id, inv.argbuf, true);
+            }
+        }
+    }
+
+    /// Kills executor `e`: every invocation resident on it dies. Queued
+    /// work never started (reclaim its ArgBuf, settle per semantics);
+    /// suspended continuations tear down through the abort path with the
+    /// `crash_kill` flag steering their conclusion.
+    fn crash_executor(&mut self, t: SimTime, e: usize) {
+        let core = self.execs[e].core;
+        let mut killed = 0u64;
+        for id in self.slab.ids() {
+            // An earlier kill in this sweep may have concluded this entry
+            // (a queued child draining its crash-killed parent).
+            if !self.slab.contains(id) {
+                continue;
+            }
+            let (exec_idx, phase, pd_active) = {
+                let inv = self.slab.get(id);
+                (inv.executor, inv.phase, inv.pd_active)
+            };
+            if exec_idx != e || phase == Phase::Faulted {
+                continue;
+            }
+            killed += 1;
+            if pd_active {
+                self.slab.get_mut(id).crash_kill = true;
+                self.abort(t, SimDuration::ZERO, e, id, AbortCause::Crash);
+            } else {
+                let inv = self.slab.remove(id);
+                // Externals own their ingested ArgBuf; internal buffers
+                // travel back to the parent via conclude_crashed.
+                if matches!(inv.origin, Origin::External { .. }) && inv.argbuf.va() != 0 {
+                    self.privlib
+                        .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
+                        .expect("crashed ArgBuf reclaim");
+                }
+                self.conclude_crashed(t, core, inv, id);
+            }
+        }
+        self.crash_stats.killed += killed;
+        self.execs[e].queue.clear();
+        self.execs[e].ready.clear();
+        self.execs[e].next_free = t + self.restart_penalty();
+    }
+
+    /// Kills orchestrator `o`: only its *queued* work dies — requests it
+    /// already dispatched keep running on their executors. Externals settle
+    /// per semantics; internals propagate failure to their parents.
+    fn crash_orchestrator(&mut self, t: SimTime, o: usize) {
+        let core = self.orchs[o].core;
+        let externals: Vec<InvocationId> = self.orchs[o].external.drain(..).collect();
+        let internals: Vec<InvocationId> = self.orchs[o].internal.drain(..).collect();
+        self.crash_stats.killed += (externals.len() + internals.len()) as u64;
+        for id in externals {
+            let inv = self.slab.remove(id);
+            // A requeued request may already hold an ingested ArgBuf.
+            if inv.argbuf.va() != 0 {
+                self.privlib
+                    .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
+                    .expect("crashed ArgBuf reclaim");
+            }
+            self.conclude_crashed(t, core, inv, id);
+        }
+        for id in internals {
+            let inv = self.slab.remove(id);
+            let Origin::Internal { parent, .. } = inv.origin else {
+                unreachable!("internal deque holds only internal requests");
+            };
+            self.deliver_child_result(t, core, parent, id, inv.argbuf, true);
+        }
+        self.orchs[o].next_free = t + self.restart_penalty();
+    }
+
+    /// Kills the whole worker process and recovers it: replay the journal
+    /// suffix over the latest checkpoint (proving the replayed tables
+    /// against the journal's live tables and the slab), reboot a pristine
+    /// process image (validating its durable VMA footprint against the
+    /// checkpoint's), restore the replayed ledger, and settle every
+    /// interrupted request per the semantics knob.
+    fn crash_worker(&mut self, t: SimTime) {
+        let cc = self
+            .cfg
+            .crash
+            .expect("worker crash requires a crash config");
+        let checkpoint = self
+            .checkpoint
+            .clone()
+            .expect("journaled runs checkpoint at start");
+        self.crash_stats.killed += self.slab.len() as u64;
+
+        // Replay checkpoint + suffix and prove it against two independent
+        // witnesses: the journal's live tables and the slab population.
+        let (recovered, live_in_flight, live_pending) = {
+            let j = self
+                .journal
+                .as_ref()
+                .expect("worker crash requires the journal");
+            let rec = j.replay(&checkpoint);
+            (
+                rec,
+                j.in_flight().keys().copied().collect::<Vec<_>>(),
+                j.pending().keys().copied().collect::<Vec<_>>(),
+            )
+        };
+        self.crash_stats.replayed += recovered.replayed;
+        assert_eq!(
+            recovered.in_flight.keys().copied().collect::<Vec<_>>(),
+            live_in_flight,
+            "replayed in-flight table must match the journal's live table"
+        );
+        assert_eq!(
+            recovered.pending.keys().copied().collect::<Vec<_>>(),
+            live_pending,
+            "replayed pending-retry table must match the journal's live table"
+        );
+        let mut slab_externals: Vec<usize> = self
+            .slab
+            .iter()
+            .filter(|(_, inv)| matches!(inv.origin, Origin::External { .. }))
+            .map(|(id, _)| id.0)
+            .collect();
+        slab_externals.sort_unstable();
+        assert_eq!(
+            live_in_flight, slab_externals,
+            "journal in-flight table must mirror the slab's external population"
+        );
+
+        // The process dies: every continuation, queue entry, and pooled PD
+        // evaporates. Undelivered network arrivals are the only survivors —
+        // they exist outside the crashed process.
+        self.slab.clear();
+        for pool in &mut self.pd_pools {
+            pool.clear();
+        }
+        let survivors: Vec<(SimTime, Event)> = self
+            .queue
+            .drain()
+            .into_iter()
+            .filter(|(_, ev)| matches!(ev, Event::Arrival { .. }))
+            .collect();
+        for (at, ev) in survivors {
+            self.queue.push(at, ev);
+        }
+
+        // Reboot to the pristine image and check it reproduces the
+        // checkpoint's durable (privileged/global) mappings bit-for-bit.
+        let parts =
+            Self::boot_parts(&self.cfg, &self.registry).expect("reboot of a validated config");
+        self.machine = parts.machine;
+        self.privlib = parts.privlib;
+        self.code_vmas = parts.code_vmas;
+        self.privlib_code = parts.privlib_code;
+        self.orchs = parts.orchs;
+        self.execs = parts.execs;
+        self.rr_orch = 0;
+        assert_eq!(
+            self.privlib.table_snapshot().durable_footprint(),
+            checkpoint.vma.durable_footprint(),
+            "reboot must reproduce the checkpoint's durable mappings"
+        );
+        for (class, (&now_free, &cp_free)) in self
+            .privlib
+            .free_slot_counts()
+            .iter()
+            .zip(checkpoint.free_slots.iter())
+            .enumerate()
+        {
+            assert!(
+                now_free >= cp_free,
+                "size class {class}: rebooted free slots {now_free} < checkpoint's {cp_free}"
+            );
+        }
+
+        // Restore the replayed ledger and the checkpointed RNG streams.
+        self.report = recovered.report;
+        self.warmed = recovered.warmed;
+        self.rng = checkpoint.rng.clone();
+        self.injector = checkpoint.injector.clone();
+
+        // Settle interrupted work.
+        let restart = t + self.restart_penalty();
+        match cc.semantics {
+            CrashSemantics::AtLeastOnce => {
+                // In-flight requests re-enter once the worker restarts;
+                // already-pending retries keep their token (and journal
+                // record) and fire no earlier than the restart.
+                for p in recovered.in_flight.values() {
+                    let token = self.journal.as_mut().map_or(0, |j| {
+                        j.retry_scheduled(
+                            p.id,
+                            PendingRetry {
+                                func: p.func,
+                                bytes: p.bytes,
+                                arrival: p.arrival,
+                                attempt: p.attempt,
+                                due: restart,
+                            },
+                            false,
+                        )
+                    });
+                    self.queue.push(
+                        restart,
+                        Event::Retry {
+                            func: p.func,
+                            bytes: p.bytes,
+                            arrival: p.arrival,
+                            attempt: p.attempt,
+                            token,
+                        },
+                    );
+                    self.crash_stats.readmitted += 1;
+                }
+                for (&token, r) in recovered.pending.iter() {
+                    self.queue.push(
+                        r.due.max(restart),
+                        Event::Retry {
+                            func: r.func,
+                            bytes: r.bytes,
+                            arrival: r.arrival,
+                            attempt: r.attempt,
+                            token,
+                        },
+                    );
+                }
+            }
+            CrashSemantics::AtMostOnce => {
+                // Every interrupted request — in flight or awaiting a
+                // retry — terminally fails.
+                for p in recovered.in_flight.values() {
+                    let measured = self.measuring();
+                    if let Some(j) = self.journal.as_mut() {
+                        j.fail(p.id, measured);
+                    }
+                    if measured {
+                        self.report.faults.failed += 1;
+                    } else {
+                        self.warmed += 1;
+                        self.report.offered -= 1;
+                    }
+                }
+                for &token in recovered.pending.keys() {
+                    let measured = self.measuring();
+                    if let Some(j) = self.journal.as_mut() {
+                        j.retry_dropped(token, measured);
+                    }
+                    if measured {
+                        self.report.faults.failed += 1;
+                    } else {
+                        self.warmed += 1;
+                        self.report.offered -= 1;
+                    }
+                }
+            }
+        }
+        // Re-checkpoint immediately: a second crash must replay against
+        // the rebooted image, not pre-crash state.
+        self.take_checkpoint(restart);
+    }
+
+    /// Destroys every pooled sanitized PD (end of run): revoke the code
+    /// grant, free the retained stack/heap, drop the PD. Costs fall
+    /// outside the measurement window.
+    fn drain_pd_pools(&mut self) {
+        let core = CoreId(0);
+        for fi in 0..self.pd_pools.len() {
+            while let Some((pd, stackheap, _)) = self.pd_pools[fi].pop() {
+                let code_va = self.code_vmas[fi];
+                self.privlib
+                    .mprotect(&mut self.machine, core, code_va, Perm::NONE, pd)
+                    .expect("pool code revoke");
+                self.privlib
+                    .munmap(&mut self.machine, core, stackheap, PdId::RUNTIME)
+                    .expect("pool stack/heap free");
+                self.privlib
+                    .cput(&mut self.machine, core, pd)
+                    .expect("pool PD destroy");
+            }
+        }
     }
 
     /// Rolls the injector's VLB-glitch die: a spurious invalidation flushes
@@ -1858,5 +2532,233 @@ mod tests {
             rep.offered,
             rep.completed + rep.faults.failed + rep.faults.sheds
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (journal, checkpoint/restore, semantics) + PD
+    // snapshot sanitization
+    // ------------------------------------------------------------------
+
+    use crate::recovery::CrashConfig;
+
+    /// A burst far beyond instantaneous capacity: the queues stay deep for
+    /// hundreds of microseconds, so a mid-drain crash provably finds work
+    /// in flight at the event boundary where it fires.
+    fn crash_workload(cfg: RuntimeConfig) -> (WorkerServer, usize, usize) {
+        let (r, f) = registry_leaf();
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let vmas = s.privlib().live_vmas();
+        let pds = s.privlib().live_pds();
+        for i in 0..4_000u64 {
+            s.push_request(SimTime::from_ps(i), f, 128);
+        }
+        (s, vmas, pds)
+    }
+
+    #[test]
+    fn journal_only_mode_audits_without_crashing() {
+        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
+        let (mut s, vmas, pds) = crash_workload(cfg);
+        let rep = s.run();
+        assert_eq!(rep.crash.crashes, 0);
+        assert_eq!(rep.completed, 4_000);
+        assert!(
+            rep.crash.journal_records >= 4_000 * 5,
+            "five lifecycle records per request, got {}",
+            rep.crash.journal_records
+        );
+        assert!(
+            rep.crash.checkpoints >= 1,
+            "the initial checkpoint at least"
+        );
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn worker_crash_at_least_once_matches_the_crash_free_run() {
+        let (mut baseline, _, _) = crash_workload(RuntimeConfig::jord_32());
+        let base = baseline.run();
+        assert_eq!(base.completed, 4_000);
+
+        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
+            CrashPlan::worker_at(150.0),
+            CrashSemantics::AtLeastOnce,
+        ));
+        let (mut s, vmas, pds) = crash_workload(cfg);
+        let rep = s.run();
+        assert_eq!(rep.crash.crashes, 1);
+        assert!(rep.crash.killed > 0, "a mid-run crash must interrupt work");
+        assert!(
+            rep.crash.readmitted > 0,
+            "at-least-once re-admits interrupted requests"
+        );
+        assert!(
+            rep.crash.replayed > 0,
+            "recovery replays the journal suffix"
+        );
+        assert!(rep.crash.checkpoints >= 2);
+        // The acceptance bar: recovery loses nothing — the crashed run
+        // completes exactly what the crash-free run with the same seed did.
+        assert_eq!(
+            rep.completed, base.completed,
+            "at-least-once recovery must reach the crash-free completion count"
+        );
+        assert_eq!(rep.faults.failed, 0);
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn worker_crash_at_most_once_fails_what_was_in_flight() {
+        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
+            CrashPlan::worker_at(150.0),
+            CrashSemantics::AtMostOnce,
+        ));
+        let (mut s, vmas, pds) = crash_workload(cfg);
+        let rep = s.run();
+        assert_eq!(rep.crash.crashes, 1);
+        assert_eq!(rep.crash.readmitted, 0);
+        assert!(rep.faults.failed > 0, "interrupted requests must fail");
+        assert!(rep.completed < 4_000);
+        assert_eq!(rep.completed + rep.faults.failed, 4_000);
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn executor_crash_contains_residents_and_recovers() {
+        // Nested calls put suspended parents and queued children on the
+        // crashed executor — both kill paths run.
+        let mut r = FunctionRegistry::new();
+        let leaf =
+            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(1_500.0))));
+        let root = r.register(
+            FunctionSpec::new("root")
+                .op(FuncOp::ReadInput)
+                .call(leaf, 128)
+                .op(FuncOp::WriteOutput),
+        );
+        let cfg = RuntimeConfig::jord_32()
+            .with_crash(CrashConfig::new(
+                CrashPlan::executor_at(30.0, 0),
+                CrashSemantics::AtLeastOnce,
+            ))
+            .with_recovery(RecoveryPolicy {
+                max_retries: 5,
+                ..RecoveryPolicy::default()
+            });
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..1_000u64 {
+            s.push_request(SimTime::from_ps(i), root, 256);
+        }
+        let rep = s.run();
+        assert_eq!(rep.crash.crashes, 1);
+        assert!(
+            rep.crash.killed > 0,
+            "executor 0 must host work at the crash"
+        );
+        assert_eq!(
+            rep.completed, 1_000,
+            "every request survives via re-admission or child-failure retry"
+        );
+        assert_eq!(rep.faults.failed, 0);
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn orchestrator_crash_drops_only_queued_work() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
+            CrashPlan::orchestrator_at(100.0, 0),
+            CrashSemantics::AtMostOnce,
+        ));
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        // A burst far beyond capacity keeps the orchestrator deques deep,
+        // so the crash provably finds queued work to kill.
+        for i in 0..4_000u64 {
+            s.push_request(SimTime::from_ps(i), f, 128);
+        }
+        let rep = s.run();
+        assert_eq!(rep.crash.crashes, 1);
+        assert!(
+            rep.crash.killed > 0,
+            "the orchestrator deque must hold work at the crash"
+        );
+        assert!(rep.faults.failed > 0, "at-most-once fails the killed work");
+        assert_eq!(rep.completed + rep.faults.failed, 4_000);
+        assert!(
+            rep.completed > rep.faults.failed,
+            "dispatched work keeps running — only one orchestrator's queue dies"
+        );
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn crash_recovery_is_deterministic() {
+        let run = || {
+            let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
+                CrashPlan::worker_at(250.0),
+                CrashSemantics::AtLeastOnce,
+            ));
+            let (mut s, _, _) = crash_workload(cfg);
+            let rep = s.run();
+            (rep.completed, rep.faults.failed, rep.crash, rep.finished_at)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pd_sanitization_pools_pds_and_cuts_setup_latency() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32().with_sanitize(true);
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..1_000u64 {
+            s.push_request(SimTime::from_ns(i * 900), f, 256);
+        }
+        let rep = s.run();
+        assert_eq!(rep.completed, 1_000);
+        assert!(rep.sanitize.full_setups >= 1, "the first setup cannot pool");
+        assert!(
+            rep.sanitize.pooled_setups > rep.sanitize.full_setups,
+            "steady state must be pool-served: {} pooled vs {} full",
+            rep.sanitize.pooled_setups,
+            rep.sanitize.full_setups
+        );
+        assert_eq!(
+            rep.sanitize.sanitizations,
+            rep.sanitize.pooled_setups + rep.sanitize.full_setups
+        );
+        assert!(
+            rep.sanitize.setup_delta_ns() > 0.0,
+            "pooled setup must be cheaper: full {} ns vs pooled {} ns",
+            rep.sanitize.mean_full_ns(),
+            rep.sanitize.mean_pooled_ns()
+        );
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn sanitization_reclaims_leaked_temps() {
+        // The function leaks a temp VMA every run; the sanitize path must
+        // free it explicitly (the snapshot diff alone cannot see it under
+        // bypassed isolation) before pooling the PD.
+        let mut r = FunctionRegistry::new();
+        let f = r.register(
+            FunctionSpec::new("leaky")
+                .op(FuncOp::MmapTemp { bytes: 4096 })
+                .op(FuncOp::Compute(TimeDist::fixed(500.0)))
+                .op(FuncOp::WriteOutput),
+        );
+        let cfg = RuntimeConfig::jord_32().with_sanitize(true);
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
+        for i in 0..300u64 {
+            s.push_request(SimTime::from_ns(i * 900), f, 256);
+        }
+        let rep = s.run();
+        assert_eq!(rep.completed, 300);
+        assert!(rep.sanitize.pooled_setups > 0);
+        assert_contained(&s, &rep, vmas, pds);
     }
 }

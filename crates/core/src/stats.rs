@@ -47,6 +47,69 @@ impl FaultStats {
     }
 }
 
+/// Crash-recovery counters: what the journal and the restore path did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashStats {
+    /// Crashes injected (executor, orchestrator, or whole worker).
+    pub crashes: u64,
+    /// Checkpoints taken at journal cadence.
+    pub checkpoints: u64,
+    /// Journal records appended.
+    pub journal_records: u64,
+    /// Journal records replayed during recovery.
+    pub replayed: u64,
+    /// Invocations killed by a crash (resident on the crashed component).
+    pub killed: u64,
+    /// Killed external requests re-admitted under at-least-once semantics.
+    pub readmitted: u64,
+}
+
+/// PD snapshot-sanitization counters (Groundhog-style restore-to-pristine
+/// instead of teardown-and-rebuild).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SanitizeStats {
+    /// Invocations that started inside a sanitized, pooled PD (fast path).
+    pub pooled_setups: u64,
+    /// Invocations that paid the full PD construction cost.
+    pub full_setups: u64,
+    /// Sanitization passes run at invocation teardown.
+    pub sanitizations: u64,
+    /// Divergences repaired across all sanitization passes (stray VMAs
+    /// unmapped, drifted permissions reset).
+    pub repairs: u64,
+    /// Σ simulated time spent setting up pooled PDs, ns.
+    pub pooled_setup_ns: f64,
+    /// Σ simulated time spent on full PD setups, ns.
+    pub full_setup_ns: f64,
+}
+
+impl SanitizeStats {
+    /// Mean fast-path setup latency, ns.
+    pub fn mean_pooled_ns(&self) -> f64 {
+        if self.pooled_setups == 0 {
+            return 0.0;
+        }
+        self.pooled_setup_ns / self.pooled_setups as f64
+    }
+
+    /// Mean full-construction setup latency, ns.
+    pub fn mean_full_ns(&self) -> f64 {
+        if self.full_setups == 0 {
+            return 0.0;
+        }
+        self.full_setup_ns / self.full_setups as f64
+    }
+
+    /// The latency delta sanitization buys per invocation: mean full setup
+    /// minus mean pooled setup, ns (positive when pooling is faster).
+    pub fn setup_delta_ns(&self) -> f64 {
+        if self.pooled_setups == 0 || self.full_setups == 0 {
+            return 0.0;
+        }
+        self.mean_full_ns() - self.mean_pooled_ns()
+    }
+}
+
 /// Accumulated per-function service statistics (Figure 11's bars).
 #[derive(Debug, Clone, Default)]
 pub struct FunctionBreakdown {
@@ -96,7 +159,7 @@ impl FunctionBreakdown {
 }
 
 /// The outcome of one simulated run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// External requests injected.
     pub offered: u64,
@@ -123,6 +186,10 @@ pub struct RunReport {
     /// is `offered == completed + faults.failed + faults.sheds`: every
     /// request ends Completed, Faulted, or Shed — none are lost.
     pub faults: FaultStats,
+    /// Crash-injection and recovery counters.
+    pub crash: CrashStats,
+    /// PD snapshot-sanitization counters.
+    pub sanitize: SanitizeStats,
 }
 
 impl RunReport {
@@ -140,6 +207,8 @@ impl RunReport {
             invocations: 0,
             spilled: 0,
             faults: FaultStats::default(),
+            crash: CrashStats::default(),
+            sanitize: SanitizeStats::default(),
         }
     }
 
@@ -256,6 +325,20 @@ mod tests {
         assert_eq!(s.of_kind(FaultKind::Permission), 0);
         assert_eq!(s.of_kind(FaultKind::CsrAccess), 1);
         assert_eq!(s.total_faults(), 3);
+    }
+
+    #[test]
+    fn sanitize_stats_expose_setup_delta() {
+        let mut s = SanitizeStats::default();
+        assert_eq!(s.setup_delta_ns(), 0.0, "no data, no delta");
+        s.full_setups = 2;
+        s.full_setup_ns = 8_000.0;
+        assert_eq!(s.setup_delta_ns(), 0.0, "needs both paths sampled");
+        s.pooled_setups = 4;
+        s.pooled_setup_ns = 4_000.0;
+        assert_eq!(s.mean_full_ns(), 4_000.0);
+        assert_eq!(s.mean_pooled_ns(), 1_000.0);
+        assert_eq!(s.setup_delta_ns(), 3_000.0);
     }
 
     #[test]

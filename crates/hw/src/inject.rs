@@ -86,6 +86,87 @@ impl InjectConfig {
     }
 }
 
+/// What crashes when a [`CrashPlan`] fires.
+///
+/// Unlike per-invocation faults (which the protection hardware contains),
+/// a crash kills a whole runtime component: everything resident on it —
+/// queued work, suspended continuations, in-memory bookkeeping — is lost
+/// and must be recovered from the write-ahead journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashScope {
+    /// One executor core wedges; its queue and resident continuations die.
+    Executor(usize),
+    /// One orchestrator core wedges; its request queues die (work already
+    /// dispatched to executors keeps running).
+    Orchestrator(usize),
+    /// The whole worker dies: every core, queue, PD, and in-memory counter
+    /// is lost; only the journal and its checkpoints survive.
+    Worker,
+}
+
+impl CrashScope {
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashScope::Executor(_) => "executor",
+            CrashScope::Orchestrator(_) => "orchestrator",
+            CrashScope::Worker => "worker",
+        }
+    }
+}
+
+/// A scheduled crash: at simulated time `at_us`, the component named by
+/// `scope` dies. Deterministic by construction — the same plan on the same
+/// seeded run crashes at exactly the same point in the event order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Simulated time of the crash, in microseconds from run start.
+    pub at_us: f64,
+    /// What dies.
+    pub scope: CrashScope,
+}
+
+impl CrashPlan {
+    /// A whole-worker crash at `at_us` microseconds.
+    pub fn worker_at(at_us: f64) -> Self {
+        CrashPlan {
+            at_us,
+            scope: CrashScope::Worker,
+        }
+    }
+
+    /// An executor crash at `at_us` microseconds.
+    pub fn executor_at(at_us: f64, executor: usize) -> Self {
+        CrashPlan {
+            at_us,
+            scope: CrashScope::Executor(executor),
+        }
+    }
+
+    /// An orchestrator crash at `at_us` microseconds.
+    pub fn orchestrator_at(at_us: f64, orch: usize) -> Self {
+        CrashPlan {
+            at_us,
+            scope: CrashScope::Orchestrator(orch),
+        }
+    }
+
+    /// Checks the crash time is a finite, non-negative instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.at_us.is_finite() || self.at_us < 0.0 {
+            return Err(format!(
+                "crash time must be finite and non-negative, got {}",
+                self.at_us
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One planned act of misbehavior within an invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlannedFault {
@@ -254,5 +335,27 @@ mod tests {
     #[should_panic(expected = "invalid InjectConfig")]
     fn injector_panics_on_invalid_config() {
         let _ = FaultInjector::new(InjectConfig::faults(2.0), Rng::new(0));
+    }
+
+    #[test]
+    fn crash_plan_constructors_and_labels() {
+        let w = CrashPlan::worker_at(500.0);
+        assert_eq!(w.scope, CrashScope::Worker);
+        assert_eq!(w.scope.label(), "worker");
+        let e = CrashPlan::executor_at(10.0, 3);
+        assert_eq!(e.scope, CrashScope::Executor(3));
+        assert_eq!(e.scope.label(), "executor");
+        let o = CrashPlan::orchestrator_at(10.0, 1);
+        assert_eq!(o.scope, CrashScope::Orchestrator(1));
+        assert_eq!(o.scope.label(), "orchestrator");
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn crash_plan_rejects_bad_times() {
+        assert!(CrashPlan::worker_at(-1.0).validate().is_err());
+        assert!(CrashPlan::worker_at(f64::NAN).validate().is_err());
+        assert!(CrashPlan::worker_at(f64::INFINITY).validate().is_err());
+        assert!(CrashPlan::worker_at(0.0).validate().is_ok());
     }
 }

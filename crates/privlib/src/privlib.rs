@@ -4,8 +4,8 @@ use jord_hw::types::{CoreId, PdId, Perm, Va};
 use jord_hw::{Csr, Fault, Machine, VlbKind};
 use jord_sim::SimDuration;
 use jord_vma::{
-    BTreeTable, FreeLists, PhysAllocator, PlainListTable, SizeClass, TableAccess, VaCodec,
-    VmaTable, VteAttr,
+    BTreeTable, FreeLists, PdSnapshot, PhysAllocator, PlainListTable, SizeClass, SnapshotDiff,
+    TableAccess, TableSnapshot, VaCodec, VmaTable, VteAttr,
 };
 
 use crate::cost::CostModel;
@@ -753,6 +753,83 @@ impl PrivLib {
     pub fn peek_vma(&self, va: Va) -> Option<(SizeClass, u32, &jord_vma::Vte)> {
         let (sc, index, _) = self.codec.decode(va)?;
         self.table.peek(sc, index).map(|v| (sc, index, v))
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots & sanitization (the crash-recovery subsystem)
+    // ------------------------------------------------------------------
+
+    /// Captures `pd`'s pristine VMA/permission layout (Groundhog-style).
+    /// Charges nothing; the runtime snapshots a PD right after setup and
+    /// later *sanitizes* against the capture instead of tearing down.
+    pub fn snapshot_pd(&self, pd: PdId) -> PdSnapshot {
+        PdSnapshot::capture(self.table.as_ref(), pd)
+    }
+
+    /// A full copy of the live VMA table, for journal checkpoints.
+    pub fn table_snapshot(&self) -> TableSnapshot {
+        TableSnapshot::capture(self.table.as_ref())
+    }
+
+    /// Free-slot availability per size class (checkpoint occupancy
+    /// summary), indexed by class.
+    pub fn free_slot_counts(&self) -> Vec<usize> {
+        SizeClass::all().map(|sc| self.free.available(sc)).collect()
+    }
+
+    /// Live PD ids in ascending order (checkpoint PD-registry capture).
+    pub fn live_pd_ids(&self) -> Vec<u16> {
+        (1..=MAX_PDS)
+            .filter(|&id| self.pd_live[id as usize])
+            .collect()
+    }
+
+    /// Returns `pd` to its pristine `snapshot` layout in place: verifies
+    /// every snapshotted VMA (one VTE read each — the Groundhog scan),
+    /// unmaps strays the PD accumulated, and resets drifted permissions.
+    /// The PD itself stays live, ready to host the next invocation of the
+    /// same function without `cput`/`cget` or remapping its layout.
+    ///
+    /// Returns the charged duration and the number of repairs applied.
+    ///
+    /// # Errors
+    ///
+    /// [`PrivError::BadPd`] if the PD is not live, or
+    /// [`PrivError::BadAddress`] if a snapshotted VMA no longer exists —
+    /// the PD cannot be repaired in place and the caller must fall back to
+    /// a full teardown.
+    pub fn sanitize_pd(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        snapshot: &PdSnapshot,
+    ) -> Result<(SimDuration, usize), PrivError> {
+        let pd = snapshot.pd;
+        if pd == PdId::RUNTIME || !self.pd_live[pd.0 as usize] {
+            return Err(PrivError::BadPd { pd });
+        }
+        let mut cost = machine.work(self.costs.policy_check_ns);
+        for e in &snapshot.entries {
+            cost += machine.vte_read(core, self.table.vte_addr(e.sc, e.index));
+        }
+        let repairs = snapshot.diff(self.table.as_ref());
+        self.stats.record(OpKind::Walk, cost);
+        let applied = repairs.len();
+        for r in repairs {
+            match r {
+                SnapshotDiff::Extra { va, .. } => {
+                    cost += self.munmap(machine, core, va, pd)?;
+                }
+                SnapshotDiff::PermDrift { va, want, .. } => {
+                    cost += self.mprotect(machine, core, va, want, pd)?;
+                }
+                SnapshotDiff::Missing { sc, index } => {
+                    let va = self.codec.base_of(sc, index).unwrap_or_default();
+                    return Err(PrivError::BadAddress { va });
+                }
+            }
+        }
+        Ok((cost, applied))
     }
 }
 

@@ -114,6 +114,19 @@ impl<E> EventQueue<E> {
     pub fn now(&self) -> SimTime {
         self.last_popped
     }
+
+    /// Empties the queue, returning every pending event in pop order
+    /// (time-ascending, FIFO ties). `now()` is left unchanged, so events
+    /// re-pushed from the drained list keep their timestamps.
+    ///
+    /// A crash-recovery path uses this to rebuild the future-event list:
+    /// events representing the outside world (client arrivals) survive a
+    /// worker crash, events representing lost in-memory state do not.
+    pub fn drain(&mut self) -> Vec<(SimTime, E)> {
+        let mut entries: Vec<Entry<E>> = std::mem::take(&mut self.heap).into_vec();
+        entries.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        entries.into_iter().map(|e| (e.time, e.event)).collect()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -185,6 +198,28 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(4)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_pop_order_and_keeps_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 'a');
+        q.pop();
+        q.push(SimTime::from_ns(30), 'c');
+        q.push(SimTime::from_ns(20), 'b');
+        q.push(SimTime::from_ns(20), 'x'); // FIFO tie after 'b'
+        let drained = q.drain();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_ns(10), "drain leaves now unchanged");
+        assert_eq!(
+            drained.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            ['b', 'x', 'c']
+        );
+        // Re-pushing drained events at their original times is legal.
+        for (t, e) in drained {
+            q.push(t, e);
+        }
+        assert_eq!(q.pop().unwrap().1, 'b');
     }
 
     #[test]

@@ -583,6 +583,23 @@ impl VmaTable for BTreeTable {
     fn live_mappings(&self) -> usize {
         self.live
     }
+
+    fn live_slots(&self) -> Vec<(SizeClass, u32)> {
+        let mut out: Vec<(SizeClass, u32)> = self
+            .slot_of_vma
+            .keys()
+            .map(|&(sc, index)| {
+                (
+                    SizeClass::from_index(sc).expect("stored class valid"),
+                    index,
+                )
+            })
+            .collect();
+        // The side map iterates in hash order; sort so enumeration is
+        // deterministic (snapshots feed seeded, reproducible recovery).
+        out.sort_by_key(|&(sc, index)| (sc.index(), index));
+        out
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ pub mod codec;
 pub mod free_list;
 pub mod phys;
 pub mod size_class;
+pub mod snapshot;
 pub mod table;
 pub mod vte;
 
@@ -40,5 +41,6 @@ pub use codec::VaCodec;
 pub use free_list::FreeLists;
 pub use phys::PhysAllocator;
 pub use size_class::SizeClass;
+pub use snapshot::{PdSnapshot, SnapshotDiff, SnapshotEntry, TableSnapshot};
 pub use table::{PlainListTable, TableAccess, VmaRecord, VmaTable};
 pub use vte::{Vte, VteAttr, SUB_ARRAY_LEN};

@@ -126,6 +126,13 @@ pub trait VmaTable {
 
     /// Number of live mappings.
     fn live_mappings(&self) -> usize;
+
+    /// Every live mapping as `(class, index)` pairs in deterministic
+    /// class-then-index order. Like [`peek`](Self::peek) this charges no
+    /// accesses: snapshot capture, crash-recovery validation, and PD
+    /// sanitization use it to enumerate state, then charge the repairs
+    /// they actually perform.
+    fn live_slots(&self) -> Vec<(SizeClass, u32)>;
 }
 
 /// The plain-list VMA table: a flat, preallocated, overprovisioned array of
@@ -332,6 +339,18 @@ impl VmaTable for PlainListTable {
 
     fn live_mappings(&self) -> usize {
         self.live
+    }
+
+    fn live_slots(&self) -> Vec<(SizeClass, u32)> {
+        let mut out: Vec<(SizeClass, u32)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.as_ref().is_some_and(|v| v.attr.valid))
+            .map(|(slot, _)| self.codec.slot_to_vma(slot))
+            .collect();
+        out.sort_by_key(|&(sc, index)| (sc.index(), index));
+        out
     }
 }
 

@@ -292,4 +292,84 @@ mod tests {
         assert_eq!(table.lines().count(), 1 + rep.points.len());
         assert!(table.contains("goodput"));
     }
+
+    /// A synthetic report with the given goodput ladder (baseline first);
+    /// every other field is benign.
+    fn ladder(goodputs: &[f64]) -> ChaosReport {
+        let points = goodputs
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| ChaosPoint {
+                fault_rate: i as f64 * 1e-3,
+                offered: 1_000,
+                completed: (1_000.0 * g) as u64,
+                failed: 1_000 - (1_000.0 * g) as u64,
+                sheds: 0,
+                faults: if i == 0 { 0 } else { 10 },
+                aborted: 0,
+                retries: 0,
+                goodput: g,
+                p99_us: 25.0,
+            })
+            .collect();
+        ChaosReport { points }
+    }
+
+    #[test]
+    fn graceful_degradation_enforces_the_floor_exactly() {
+        // A point sitting exactly on the floor passes; a hair below fails.
+        assert!(ladder(&[1.0, 0.95, 0.90]).degrades_gracefully(0.90, 0.1));
+        assert!(!ladder(&[1.0, 0.95, 0.8999]).degrades_gracefully(0.90, 0.1));
+    }
+
+    #[test]
+    fn graceful_degradation_enforces_the_cliff_tolerance() {
+        // Total drop is within the floor, but one step exceeds tolerance.
+        assert!(ladder(&[1.0, 0.98, 0.96]).degrades_gracefully(0.9, 0.02));
+        assert!(!ladder(&[1.0, 0.98, 0.93]).degrades_gracefully(0.9, 0.02));
+        // A drop exactly equal to the tolerance is not a cliff.
+        assert!(ladder(&[1.0, 0.95]).degrades_gracefully(0.9, 0.05));
+    }
+
+    #[test]
+    fn graceful_degradation_requires_a_clean_baseline() {
+        // A lossy baseline fails even when every swept point is perfect.
+        let mut rep = ladder(&[0.999, 1.0, 1.0]);
+        assert!(!rep.degrades_gracefully(0.5, 1.0));
+        // So does a baseline that saw faults despite completing everything.
+        rep = ladder(&[1.0, 1.0]);
+        rep.points[0].faults = 1;
+        assert!(!rep.degrades_gracefully(0.5, 1.0));
+    }
+
+    #[test]
+    fn goodput_recovery_between_rungs_is_not_a_cliff() {
+        // windows(2) checks drops, not rises: a rung that recovers goodput
+        // relative to its predecessor must never trip the tolerance.
+        assert!(ladder(&[1.0, 0.92, 0.98, 0.95]).degrades_gracefully(0.9, 0.08));
+    }
+
+    #[test]
+    fn synthetic_table_formats_every_rung() {
+        let rep = ladder(&[1.0, 0.97]);
+        let table = rep.table();
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.starts_with("fault_rate"));
+        assert!(table.contains("0e0"), "baseline rate renders in e-notation");
+    }
+
+    #[test]
+    fn empty_rate_ladder_still_runs_the_baseline() {
+        let w = Workload::build(WorkloadKind::Hotel);
+        let rep = ChaosSpec::new(0.2e6)
+            .requests(100, 20)
+            .rates(vec![])
+            .run(&w);
+        assert_eq!(rep.points.len(), 1, "baseline is always prepended");
+        assert_eq!(rep.baseline().goodput, 1.0);
+        assert!(
+            rep.degrades_gracefully(0.99, 0.0),
+            "a lone clean baseline degrades trivially gracefully"
+        );
+    }
 }

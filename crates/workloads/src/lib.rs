@@ -23,7 +23,11 @@
 //!   §6,
 //! * [`chaos`] — fault-rate sweep campaigns that assert graceful
 //!   degradation and zero resource leakage under deterministic fault
-//!   injection.
+//!   injection,
+//! * [`crash`] — crash/recovery campaigns that kill an executor, an
+//!   orchestrator, or the whole worker mid-run and assert the write-ahead
+//!   journal loses nothing (`offered == completed + failed + sheds`, and
+//!   at-least-once parity with the crash-free baseline).
 //!
 //! # Example
 //!
@@ -44,12 +48,14 @@
 
 pub mod apps;
 pub mod chaos;
+pub mod crash;
 pub mod loadgen;
 pub mod runner;
 pub mod slo;
 
 pub use apps::{EntryPoint, Workload, WorkloadKind};
 pub use chaos::{ChaosPoint, ChaosReport, ChaosSpec};
+pub use crash::{CrashCampaign, CrashPoint, CrashReport};
 pub use loadgen::LoadGen;
 pub use runner::{run_system, SweepPoint, System};
 pub use slo::{measure_slo, throughput_under_slo};
