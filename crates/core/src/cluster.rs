@@ -1,0 +1,1149 @@
+//! The cluster layer: N worker servers behind one dispatcher.
+//!
+//! Jord's single-address-space design is per machine; a deployment runs
+//! many such machines behind a front-end. This module simulates that
+//! tier under the same deterministic clock as the workers themselves:
+//! a [`ClusterDispatcher`] owns N [`WorkerServer`]s and interleaves
+//! their event queues with its own (routing, heartbeats, failure
+//! detection, hedging), always processing the globally earliest event.
+//!
+//! The dispatcher provides:
+//!
+//! - **Routing**: join-the-shortest-queue over healthy workers (by the
+//!   dispatcher's own assigned-count — it cannot see inside a worker).
+//! - **Failure detection**: per-worker heartbeats feed a phi-accrual
+//!   detector ([`crate::health`]); workers pass *suspect* → *evict*
+//!   thresholds and are readmitted after probation heartbeats.
+//! - **Failover**: a confirmed-dead worker is recovered through the
+//!   same journal replay a standalone crash uses
+//!   ([`WorkerServer::crash_for_cluster`]), and the stranded requests
+//!   are re-routed (at-least-once) or failed exactly once
+//!   (at-most-once). Cluster-wide conservation still holds:
+//!   `offered == completed + failed + shed`, with `lost == 0`.
+//! - **Hedging**: a request still unanswered after a configured delay
+//!   gets a second copy on another worker; first response wins and the
+//!   loser is cancelled if it has not been dispatched yet.
+//! - **Graceful drain**: a draining worker admits nothing new, its
+//!   queued (undispatched) requests are rebalanced to peers, and its
+//!   in-flight work finishes normally.
+
+use jord_hw::{FaultInjector, InjectConfig, PartitionWindow};
+use jord_sim::{EventQueue, LatencyHistogram, Rng, SimDuration, SimTime};
+
+use crate::config::{ConfigError, RuntimeConfig};
+use crate::function::{FunctionId, FunctionRegistry};
+use crate::health::{DetectorConfig, PhiAccrual, WorkerHealth};
+use crate::recovery::{CrashConfig, CrashSemantics};
+use crate::server::{NoticeOutcome, WorkerNotice, WorkerServer};
+use crate::stats::{FailoverStats, RunReport};
+
+/// Hedged-dispatch tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// A request unanswered this long after dispatch gets a second copy
+    /// on another worker (µs of simulated time).
+    pub after_us: f64,
+}
+
+/// A scripted whole-worker kill (the cluster analogue of
+/// [`jord_hw::CrashPlan`]'s worker scope).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerKill {
+    /// Which worker dies.
+    pub worker: usize,
+    /// When it dies (µs of simulated time).
+    pub at_us: f64,
+}
+
+/// A scripted graceful drain of one worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrainPlan {
+    /// Which worker drains.
+    pub worker: usize,
+    /// When the drain starts (µs).
+    pub at_us: f64,
+    /// When the worker rejoins the routing set (µs), if it does.
+    pub resume_at_us: Option<f64>,
+}
+
+/// A scripted heartbeat blackout between one worker and the dispatcher
+/// — the worker stays alive and keeps serving; only its heartbeats are
+/// dropped, so the detector's false-positive path is exercised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionPlan {
+    /// Which worker is cut off.
+    pub worker: usize,
+    /// Blackout start (µs, inclusive).
+    pub from_us: f64,
+    /// Blackout end (µs, exclusive).
+    pub until_us: f64,
+}
+
+/// Configuration of a simulated worker cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker servers.
+    pub workers: usize,
+    /// Cluster seed; worker `w` runs on [`Rng::derive_seed`]`(seed, w)`
+    /// so adding a worker never perturbs another worker's schedule.
+    pub seed: u64,
+    /// Per-worker runtime configuration. Must not carry a crash plan of
+    /// its own — the cluster installs journaling and scripts kills via
+    /// [`ClusterConfig::kill`].
+    pub template: RuntimeConfig,
+    /// Heartbeat cadence and phi thresholds.
+    pub detector: DetectorConfig,
+    /// What a worker death promises about the requests it strands.
+    pub semantics: CrashSemantics,
+    /// How many times one request may be failed over before the
+    /// dispatcher gives up and fails it (bounds retry storms).
+    pub max_failovers: u32,
+    /// Downtime of a killed worker before it heartbeats again, µs.
+    pub restart_penalty_us: f64,
+    /// Hedged dispatch of slow-tail requests, if enabled.
+    pub hedge: Option<HedgeConfig>,
+    /// A scripted worker kill, if any.
+    pub kill: Option<WorkerKill>,
+    /// A scripted graceful drain, if any.
+    pub drain: Option<DrainPlan>,
+    /// Probability an individual heartbeat is lost in the network.
+    pub heartbeat_loss_rate: f64,
+    /// A scripted heartbeat blackout, if any.
+    pub partition: Option<PartitionPlan>,
+}
+
+impl ClusterConfig {
+    /// A quiet cluster of `workers` copies of `template`.
+    pub fn new(workers: usize, seed: u64, template: RuntimeConfig) -> Self {
+        ClusterConfig {
+            workers,
+            seed,
+            template,
+            detector: DetectorConfig::default(),
+            semantics: CrashSemantics::AtLeastOnce,
+            max_failovers: 3,
+            restart_penalty_us: 50.0,
+            hedge: None,
+            kill: None,
+            drain: None,
+            heartbeat_loss_rate: 0.0,
+            partition: None,
+        }
+    }
+
+    /// Validates the cluster topology and scripts.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let bad = |reason: String| Err(ConfigError::Cluster { reason });
+        if self.workers == 0 {
+            return bad("a cluster needs at least one worker".into());
+        }
+        if self.template.crash.is_some() {
+            return bad(
+                "template.crash must be unset: the cluster installs journaling itself \
+                 and scripts worker kills via ClusterConfig::kill"
+                    .into(),
+            );
+        }
+        self.template.validate()?;
+        self.detector.validate()?;
+        if self.max_failovers == 0 {
+            return bad("max_failovers must be at least 1".into());
+        }
+        if !self.restart_penalty_us.is_finite() || self.restart_penalty_us < 0.0 {
+            return bad(format!(
+                "restart_penalty_us must be finite and non-negative, got {}",
+                self.restart_penalty_us
+            ));
+        }
+        if let Some(h) = &self.hedge {
+            if h.after_us <= 0.0 || !h.after_us.is_finite() {
+                return bad(format!(
+                    "hedge.after_us must be positive and finite, got {}",
+                    h.after_us
+                ));
+            }
+        }
+        if let Some(k) = &self.kill {
+            if k.worker >= self.workers {
+                return bad(format!(
+                    "kill targets worker {} but only {} exist",
+                    k.worker, self.workers
+                ));
+            }
+            if !k.at_us.is_finite() || k.at_us < 0.0 {
+                return bad(format!("kill.at_us must be finite, got {}", k.at_us));
+            }
+        }
+        if let Some(d) = &self.drain {
+            if d.worker >= self.workers {
+                return bad(format!(
+                    "drain targets worker {} but only {} exist",
+                    d.worker, self.workers
+                ));
+            }
+            if let Some(r) = d.resume_at_us {
+                if r <= d.at_us {
+                    return bad(format!(
+                        "drain resume ({r} µs) must follow drain start ({} µs)",
+                        d.at_us
+                    ));
+                }
+            }
+        }
+        if !(0.0..1.0).contains(&self.heartbeat_loss_rate) {
+            return bad(format!(
+                "heartbeat_loss_rate must be in [0, 1), got {}",
+                self.heartbeat_loss_rate
+            ));
+        }
+        if let Some(p) = &self.partition {
+            if p.worker >= self.workers {
+                return bad(format!(
+                    "partition targets worker {} but only {} exist",
+                    p.worker, self.workers
+                ));
+            }
+            PartitionWindow::new(p.from_us, p.until_us)
+                .validate()
+                .map_err(|reason| ConfigError::Cluster { reason })?;
+        }
+        Ok(())
+    }
+}
+
+/// Dispatcher-side events, interleaved with the workers' own queues.
+#[derive(Debug, Clone, Copy)]
+enum ClusterEvent {
+    /// Deliver request `tag` to a worker (initial dispatch).
+    Route(u64),
+    /// Worker `w`'s heartbeat timer fires.
+    Heartbeat(usize),
+    /// A phi threshold armed at heartbeat `epoch` would be crossed now
+    /// if no later heartbeat arrived.
+    PhiCheck {
+        worker: usize,
+        epoch: u64,
+        evict: bool,
+    },
+    /// Is request `tag` still unanswered? If so, hedge it.
+    HedgeCheck(u64),
+    /// Worker `w`'s terminal notice for a request reaches the
+    /// dispatcher. Workers execute invocations in synchronous DES
+    /// chunks, so a notice can be *produced* during a step popped
+    /// earlier than its timestamp; the dispatcher must not act on it
+    /// before its time, or JSQ would see completions from the future.
+    Notice(usize, WorkerNotice),
+    /// The scripted kill of worker `w`.
+    Kill(usize),
+    /// The scripted drain of worker `w`.
+    Drain(usize),
+    /// The drained worker rejoins the routing set.
+    DrainResume(usize),
+}
+
+/// Terminal outcome of one cluster request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Completed,
+    Failed,
+    Shed,
+}
+
+/// Dispatcher-side state of one request.
+#[derive(Debug)]
+struct RequestState {
+    func: FunctionId,
+    bytes: u64,
+    /// Cluster receipt time; end-to-end latency is anchored here, not
+    /// at whichever worker finally served the request.
+    arrival: SimTime,
+    /// Workers currently holding a live copy.
+    copies: Vec<usize>,
+    failovers: u32,
+    hedged: bool,
+    /// Which copy is the hedge (for first-response attribution).
+    hedge_worker: Option<usize>,
+    outcome: Option<Outcome>,
+}
+
+/// One worker plus the dispatcher's view of it.
+struct WorkerSlot {
+    server: WorkerServer,
+    detector: PhiAccrual,
+    health: WorkerHealth,
+    /// Ground truth, invisible to routing: the process is dead. The
+    /// dispatcher only learns via the detector.
+    crashed: bool,
+    crashed_at: SimTime,
+    /// Drops heartbeats per loss rate / partition window.
+    hb_injector: FaultInjector,
+    /// A rebooting worker heartbeats again only after this instant.
+    hb_resume_at: SimTime,
+    /// Consecutive delivered heartbeats since eviction.
+    probation: u32,
+    /// Dispatcher-tracked outstanding copies (the JSQ key).
+    assigned: u64,
+    /// Worker-health counters (heartbeats, suspicion, detection).
+    stats: FailoverStats,
+}
+
+/// The result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Requests pushed at the dispatcher.
+    pub offered: u64,
+    /// Requests completed (exactly once each).
+    pub completed: u64,
+    /// Requests terminally failed.
+    pub failed: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// End-to-end latency: dispatcher receipt → first completion.
+    pub latency: LatencyHistogram,
+    /// Fleet-wide failover counters (dispatcher counters merged with
+    /// every worker's).
+    pub failover: FailoverStats,
+    /// Per-worker reports; `workers[w].failover` carries worker `w`'s
+    /// health counters.
+    pub workers: Vec<RunReport>,
+    /// When the last event fired.
+    pub finished_at: SimTime,
+}
+
+impl ClusterReport {
+    /// p99 end-to-end latency, if any requests completed.
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.latency.p99()
+    }
+
+    /// Fraction of offered requests that completed.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+}
+
+/// Stream id salt for per-worker heartbeat-network RNGs, so they are
+/// disjoint from the workers' own `derive_seed(seed, w)` streams.
+const HB_STREAM: u64 = 0x4845_4152_5442_4541; // "HEARTBEA"
+
+/// The front-end: owns the workers and runs the whole cluster to
+/// completion under one deterministic clock.
+pub struct ClusterDispatcher {
+    cfg: ClusterConfig,
+    slots: Vec<WorkerSlot>,
+    events: EventQueue<ClusterEvent>,
+    requests: Vec<RequestState>,
+    /// Requests not yet settled.
+    pending: usize,
+    /// All requests settled: stop renewing heartbeat chains so the
+    /// event queues can drain.
+    finishing: bool,
+    /// Dispatcher-level counters (routing, hedging, failover).
+    fleet: FailoverStats,
+    latency: LatencyHistogram,
+    finished_at: SimTime,
+}
+
+impl ClusterDispatcher {
+    /// Builds the cluster: every worker gets the template config with
+    /// its own derived seed and journaling enabled (a cluster worker
+    /// must always be able to replay — its death is scripted by the
+    /// cluster, not by its own config).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation problem found.
+    pub fn new(cfg: ClusterConfig, registry: FunctionRegistry) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let mut slots = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let mut rt = cfg.template.clone();
+            rt.seed = Rng::derive_seed(cfg.seed, w as u64);
+            rt.crash = Some(CrashConfig {
+                plan: None,
+                semantics: cfg.semantics,
+                restart_penalty_us: cfg.restart_penalty_us,
+                ..CrashConfig::journal_only()
+            });
+            let server = WorkerServer::new(rt, registry.clone())?;
+            let hb_cfg = InjectConfig {
+                heartbeat_loss_rate: cfg.heartbeat_loss_rate,
+                partition: cfg
+                    .partition
+                    .filter(|p| p.worker == w)
+                    .map(|p| PartitionWindow::new(p.from_us, p.until_us)),
+                ..InjectConfig::default()
+            };
+            let hb_rng = Rng::new(Rng::derive_seed(cfg.seed, HB_STREAM ^ w as u64));
+            slots.push(WorkerSlot {
+                server,
+                detector: PhiAccrual::new(cfg.detector),
+                health: WorkerHealth::Healthy,
+                crashed: false,
+                crashed_at: SimTime::ZERO,
+                hb_injector: FaultInjector::new(hb_cfg, hb_rng),
+                hb_resume_at: SimTime::ZERO,
+                probation: 0,
+                assigned: 0,
+                stats: FailoverStats::default(),
+            });
+        }
+        let mut events = EventQueue::new();
+        let hb = SimDuration::from_ns_f64(cfg.detector.heartbeat_every_us * 1_000.0);
+        for w in 0..cfg.workers {
+            events.push(SimTime::ZERO + hb, ClusterEvent::Heartbeat(w));
+        }
+        if let Some(k) = cfg.kill {
+            events.push(us(k.at_us), ClusterEvent::Kill(k.worker));
+        }
+        if let Some(d) = cfg.drain {
+            events.push(us(d.at_us), ClusterEvent::Drain(d.worker));
+            if let Some(r) = d.resume_at_us {
+                events.push(us(r), ClusterEvent::DrainResume(d.worker));
+            }
+        }
+        Ok(ClusterDispatcher {
+            cfg,
+            slots,
+            events,
+            requests: Vec::new(),
+            pending: 0,
+            finishing: false,
+            fleet: FailoverStats::default(),
+            latency: LatencyHistogram::new(),
+            finished_at: SimTime::ZERO,
+        })
+    }
+
+    /// Schedules an external request to reach the dispatcher at `at`.
+    /// Call before [`run`](Self::run). Returns the request's tag.
+    pub fn push_request(&mut self, at: SimTime, func: FunctionId, bytes: u64) -> u64 {
+        let tag = self.requests.len() as u64 + 1;
+        self.requests.push(RequestState {
+            func,
+            bytes,
+            arrival: at,
+            copies: Vec::new(),
+            failovers: 0,
+            hedged: false,
+            hedge_worker: None,
+            outcome: None,
+        });
+        self.pending += 1;
+        self.events.push(at, ClusterEvent::Route(tag));
+        tag
+    }
+
+    /// Runs the cluster to completion and returns the merged report.
+    pub fn run(&mut self) -> ClusterReport {
+        for slot in &mut self.slots {
+            slot.server.begin();
+        }
+        loop {
+            // The globally earliest event wins; a worker beats the
+            // dispatcher on ties so notices for time t are in hand
+            // before the dispatcher acts at t. Crashed workers are
+            // frozen — a dead process pops nothing.
+            let worker_next = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.crashed)
+                .filter_map(|(w, s)| s.server.next_event_time().map(|t| (t, w)))
+                .min();
+            let cluster_next = self.events.peek_time();
+            match (worker_next, cluster_next) {
+                (None, None) => break,
+                (Some((wt, w)), ct) if ct.is_none() || wt <= ct.unwrap() => {
+                    self.finished_at = self.finished_at.max(wt);
+                    self.slots[w].server.step();
+                    for n in self.slots[w].server.take_notices() {
+                        // Deliver at the notice's own timestamp (≥ wt).
+                        self.events.push(n.at, ClusterEvent::Notice(w, n));
+                    }
+                }
+                _ => {
+                    let (t, ev) = self.events.pop().expect("cluster_next was Some");
+                    self.finished_at = self.finished_at.max(t);
+                    self.on_cluster_event(t, ev);
+                }
+            }
+        }
+        self.seal()
+    }
+
+    // --------------------------------------------------------------
+    // Event handlers
+    // --------------------------------------------------------------
+
+    fn on_cluster_event(&mut self, t: SimTime, ev: ClusterEvent) {
+        match ev {
+            ClusterEvent::Route(tag) => self.on_route(t, tag),
+            ClusterEvent::Heartbeat(w) => self.on_heartbeat(t, w),
+            ClusterEvent::PhiCheck {
+                worker,
+                epoch,
+                evict,
+            } => self.on_phi_check(t, worker, epoch, evict),
+            ClusterEvent::HedgeCheck(tag) => self.on_hedge_check(t, tag),
+            ClusterEvent::Notice(w, n) => self.on_notice(w, n),
+            ClusterEvent::Kill(w) => {
+                self.slots[w].crashed = true;
+                self.slots[w].crashed_at = t;
+            }
+            ClusterEvent::Drain(w) => self.on_drain(t, w),
+            ClusterEvent::DrainResume(w) => {
+                if self.slots[w].health == WorkerHealth::Draining {
+                    self.slots[w].health = WorkerHealth::Healthy;
+                }
+            }
+        }
+    }
+
+    fn on_route(&mut self, t: SimTime, tag: u64) {
+        match self.route_target(&[]) {
+            Some(w) => {
+                self.deliver(t, tag, w);
+                if let Some(h) = self.cfg.hedge {
+                    self.events
+                        .push(t + us_dur(h.after_us), ClusterEvent::HedgeCheck(tag));
+                }
+            }
+            // No routable worker at all: the front-end itself sheds.
+            None => self.settle(t, tag, Outcome::Shed),
+        }
+    }
+
+    fn on_heartbeat(&mut self, t: SimTime, w: usize) {
+        // The timer renews regardless of delivery — it is the
+        // dispatcher's cadence, not the worker's — until the run winds
+        // down.
+        if !self.finishing {
+            let hb = us_dur(self.cfg.detector.heartbeat_every_us);
+            self.events.push(t + hb, ClusterEvent::Heartbeat(w));
+        }
+        let slot = &mut self.slots[w];
+        // A dead or still-rebooting worker sends nothing; silence is
+        // what the phi checks armed earlier will act on.
+        if slot.crashed || t < slot.hb_resume_at {
+            return;
+        }
+        slot.stats.heartbeats_sent += 1;
+        if !slot.hb_injector.heartbeat_delivered(t.as_us_f64()) {
+            slot.stats.heartbeats_lost += 1;
+            // A lost heartbeat during probation restarts the count: the
+            // link is evidently not trustworthy yet.
+            if slot.health == WorkerHealth::Evicted {
+                slot.probation = 0;
+            }
+            return;
+        }
+        let epoch = slot.detector.heartbeat(t);
+        match slot.health {
+            WorkerHealth::Suspected => {
+                slot.health = WorkerHealth::Healthy;
+                slot.stats.false_suspects += 1;
+            }
+            WorkerHealth::Evicted => {
+                slot.probation += 1;
+                if slot.probation >= self.cfg.detector.readmit_after {
+                    slot.health = WorkerHealth::Healthy;
+                    slot.probation = 0;
+                    slot.stats.readmissions += 1;
+                }
+            }
+            WorkerHealth::Healthy | WorkerHealth::Draining => {}
+        }
+        // Arm this epoch's threshold checks; a later heartbeat bumps
+        // the epoch and renders them inert.
+        let suspect_at = t + slot.detector.time_to_phi(self.cfg.detector.suspect_phi);
+        let evict_at = t + slot.detector.time_to_phi(self.cfg.detector.evict_phi);
+        self.events.push(
+            suspect_at,
+            ClusterEvent::PhiCheck {
+                worker: w,
+                epoch,
+                evict: false,
+            },
+        );
+        self.events.push(
+            evict_at,
+            ClusterEvent::PhiCheck {
+                worker: w,
+                epoch,
+                evict: true,
+            },
+        );
+    }
+
+    fn on_phi_check(&mut self, t: SimTime, w: usize, epoch: u64, evict: bool) {
+        if self.finishing {
+            return;
+        }
+        let slot = &mut self.slots[w];
+        if epoch != slot.detector.epoch() {
+            return; // a later heartbeat already cleared this silence
+        }
+        match (slot.health, evict) {
+            (WorkerHealth::Healthy, false) => {
+                slot.health = WorkerHealth::Suspected;
+                slot.stats.suspects += 1;
+            }
+            (WorkerHealth::Healthy | WorkerHealth::Suspected, true) => {
+                slot.health = WorkerHealth::Evicted;
+                slot.probation = 0;
+                slot.stats.evictions += 1;
+                // The detector's promise: one heartbeat period (the gap
+                // between the last heartbeat and the first missed one)
+                // plus the silence needed to reach the evict phi.
+                let bound_ns = self.cfg.detector.heartbeat_every_us * 1_000.0
+                    + slot
+                        .detector
+                        .time_to_phi(self.cfg.detector.evict_phi)
+                        .as_ns_f64();
+                slot.stats.confirm_bound_ns = slot.stats.confirm_bound_ns.max(bound_ns);
+                if slot.crashed {
+                    let det_ns = t.saturating_since(slot.crashed_at).as_ns_f64();
+                    slot.stats.detection_ns = slot.stats.detection_ns.max(det_ns);
+                    self.fail_over(t, w);
+                }
+                // A live evicted worker (partition) keeps its in-flight
+                // work — eviction only removes it from routing; its
+                // completions still count, and probation heartbeats
+                // readmit it.
+            }
+            _ => {} // already suspected/evicted, or draining
+        }
+    }
+
+    fn on_hedge_check(&mut self, t: SimTime, tag: u64) {
+        if self.finishing {
+            return;
+        }
+        let idx = (tag - 1) as usize;
+        let req = &self.requests[idx];
+        // Hedge only a request that is still a single live unanswered
+        // copy: settled, failed-over, or already-hedged requests pass.
+        if req.outcome.is_some() || req.hedged || req.copies.len() != 1 {
+            return;
+        }
+        let Some(w2) = self.route_target(&req.copies) else {
+            return; // nowhere to hedge to
+        };
+        let req = &mut self.requests[idx];
+        req.hedged = true;
+        req.hedge_worker = Some(w2);
+        self.fleet.hedges += 1;
+        self.deliver(t, tag, w2);
+    }
+
+    fn on_drain(&mut self, t: SimTime, w: usize) {
+        self.fleet.drains += 1;
+        self.slots[w].health = WorkerHealth::Draining;
+        // Pull every queued (undispatched) request back out of the
+        // worker and re-route it; in-flight work finishes in place.
+        for tag in self.slots[w].server.queued_tags() {
+            let idx = (tag - 1) as usize;
+            if self.requests[idx].outcome.is_some() {
+                continue;
+            }
+            if !self.slots[w].server.cancel_tagged(tag) {
+                continue; // dispatched between listing and pulling
+            }
+            self.slots[w].assigned = self.slots[w].assigned.saturating_sub(1);
+            self.requests[idx].copies.retain(|&c| c != w);
+            if self.requests[idx].hedge_worker == Some(w) {
+                self.requests[idx].hedge_worker = None;
+            }
+            self.fleet.rebalanced += 1;
+            let exclude = self.requests[idx].copies.clone();
+            match self.route_target(&exclude) {
+                Some(target) => self.deliver(t, tag, target),
+                None => {
+                    if self.requests[idx].copies.is_empty() {
+                        self.settle(t, tag, Outcome::Shed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A terminal notice from worker `w` reached the dispatcher.
+    fn on_notice(&mut self, w: usize, n: WorkerNotice) {
+        let idx = (n.tag - 1) as usize;
+        if let Some(pos) = self.requests[idx].copies.iter().position(|&c| c == w) {
+            self.requests[idx].copies.remove(pos);
+            self.slots[w].assigned = self.slots[w].assigned.saturating_sub(1);
+        }
+        if self.requests[idx].outcome.is_some() {
+            // A hedge loser or failover twin finishing late: the
+            // request is already settled, the work was redundant.
+            self.fleet.duplicated += 1;
+            return;
+        }
+        match n.outcome {
+            NoticeOutcome::Completed { .. } => {
+                if self.requests[idx].hedge_worker == Some(w) {
+                    self.fleet.hedge_wins += 1;
+                }
+                self.settle(n.at, n.tag, Outcome::Completed);
+                // First response wins: try to pull still-undispatched
+                // copies back; a running copy is left to finish and
+                // will surface as `duplicated`.
+                let others = self.requests[idx].copies.clone();
+                for c in others {
+                    if self.slots[c].server.cancel_tagged(n.tag) {
+                        self.fleet.cancelled += 1;
+                        self.slots[c].assigned = self.slots[c].assigned.saturating_sub(1);
+                        self.requests[idx].copies.retain(|&x| x != c);
+                    }
+                }
+            }
+            NoticeOutcome::Failed => {
+                // A worker-level terminal failure (local retries
+                // exhausted) is a business failure, not a crash: no
+                // failover. But another live copy may still answer.
+                if self.requests[idx].copies.is_empty() {
+                    self.settle(n.at, n.tag, Outcome::Failed);
+                }
+            }
+            NoticeOutcome::Shed => {
+                if self.requests[idx].copies.is_empty() {
+                    self.settle(n.at, n.tag, Outcome::Shed);
+                }
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Routing and failover
+    // --------------------------------------------------------------
+
+    /// Join-the-shortest-queue over healthy workers (fewest assigned
+    /// copies, lowest index on ties); suspected workers only as a last
+    /// resort. Note a dead-but-undetected worker still looks Healthy —
+    /// routing to it is the detection window's cost, surfaced as
+    /// `misrouted`.
+    fn route_target(&self, exclude: &[usize]) -> Option<usize> {
+        let pick = |want: WorkerHealth| {
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(w, s)| s.health == want && !exclude.contains(w))
+                .min_by_key(|&(w, s)| (s.assigned, w))
+                .map(|(w, _)| w)
+        };
+        pick(WorkerHealth::Healthy).or_else(|| pick(WorkerHealth::Suspected))
+    }
+
+    /// Hands request `tag` to worker `w` at `t`.
+    fn deliver(&mut self, t: SimTime, tag: u64, w: usize) {
+        let idx = (tag - 1) as usize;
+        let (func, bytes) = {
+            let req = &mut self.requests[idx];
+            debug_assert!(!req.copies.contains(&w), "one copy per worker");
+            req.copies.push(w);
+            (req.func, req.bytes)
+        };
+        let slot = &mut self.slots[w];
+        slot.assigned += 1;
+        if slot.crashed {
+            // The request lands in a dead worker's network queue; it
+            // will be stranded there until eviction fails it over.
+            self.fleet.misrouted += 1;
+        }
+        slot.server.push_tagged_request(t, func, bytes, tag);
+    }
+
+    /// Worker `w` was evicted while actually dead: recover the process
+    /// through journal replay and re-route (or fail) everything the
+    /// crash stranded.
+    fn fail_over(&mut self, t: SimTime, w: usize) {
+        let stranded = {
+            let slot = &mut self.slots[w];
+            let stranded = slot.server.crash_for_cluster(t);
+            slot.crashed = false;
+            slot.detector.reset();
+            slot.hb_resume_at = t + us_dur(self.cfg.restart_penalty_us);
+            slot.assigned = 0;
+            slot.probation = 0;
+            // Health stays Evicted: probation heartbeats after the
+            // restart penalty earn readmission.
+            stranded
+        };
+        for s in stranded {
+            let idx = (s.tag - 1) as usize;
+            self.requests[idx].copies.retain(|&c| c != w);
+            if self.requests[idx].hedge_worker == Some(w) {
+                self.requests[idx].hedge_worker = None;
+            }
+            if self.requests[idx].outcome.is_some() {
+                continue; // a redundant copy died with the worker
+            }
+            if !self.requests[idx].copies.is_empty() {
+                continue; // another copy is still in play
+            }
+            match self.cfg.semantics {
+                CrashSemantics::AtMostOnce => {
+                    // The copy may or may not have executed; re-running
+                    // is forbidden, so the request fails exactly once.
+                    self.settle(t, s.tag, Outcome::Failed);
+                }
+                CrashSemantics::AtLeastOnce => {
+                    if self.requests[idx].failovers < self.cfg.max_failovers {
+                        self.requests[idx].failovers += 1;
+                        self.fleet.failovers += 1;
+                        let exclude = self.requests[idx].copies.clone();
+                        match self.route_target(&exclude) {
+                            Some(target) => self.deliver(t, s.tag, target),
+                            None => self.settle(t, s.tag, Outcome::Shed),
+                        }
+                    } else {
+                        self.settle(t, s.tag, Outcome::Failed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fixes request `tag`'s terminal outcome.
+    fn settle(&mut self, t: SimTime, tag: u64, outcome: Outcome) {
+        let req = &mut self.requests[(tag - 1) as usize];
+        debug_assert!(req.outcome.is_none(), "a request settles exactly once");
+        req.outcome = Some(outcome);
+        if outcome == Outcome::Completed {
+            self.latency.record(t.saturating_since(req.arrival));
+        }
+        self.pending -= 1;
+        if self.pending == 0 {
+            self.finishing = true;
+        }
+    }
+
+    /// Recovers any still-dead worker, seals every worker, and merges
+    /// the cluster report.
+    fn seal(&mut self) -> ClusterReport {
+        // A worker killed so late that the run finished before its
+        // eviction still has to be recovered — seal proves conservation
+        // against a live process image, not a dead one. Everything it
+        // stranded belongs to already-settled requests (the run is
+        // over), so the copies are simply redundant.
+        for w in 0..self.slots.len() {
+            if self.slots[w].crashed {
+                let t = self.finished_at;
+                let stranded = self.slots[w].server.crash_for_cluster(t);
+                self.slots[w].crashed = false;
+                for s in stranded {
+                    debug_assert!(
+                        self.requests[(s.tag - 1) as usize].outcome.is_some(),
+                        "an unsettled request cannot outlive the run"
+                    );
+                    self.requests[(s.tag - 1) as usize]
+                        .copies
+                        .retain(|&c| c != w);
+                }
+            }
+        }
+        let mut report = ClusterReport {
+            offered: self.requests.len() as u64,
+            completed: 0,
+            failed: 0,
+            shed: 0,
+            latency: self.latency.clone(),
+            failover: self.fleet,
+            workers: Vec::with_capacity(self.slots.len()),
+            finished_at: self.finished_at,
+        };
+        for req in &self.requests {
+            match req.outcome {
+                Some(Outcome::Completed) => report.completed += 1,
+                Some(Outcome::Failed) => report.failed += 1,
+                Some(Outcome::Shed) => report.shed += 1,
+                None => report.failover.lost += 1,
+            }
+        }
+        for slot in &mut self.slots {
+            let mut rep = slot.server.seal();
+            rep.failover = slot.stats;
+            report.failover.merge(&slot.stats);
+            report.workers.push(rep);
+        }
+        debug_assert_eq!(
+            report.offered,
+            report.completed + report.failed + report.shed + report.failover.lost,
+            "cluster conservation: every request must have exactly one outcome"
+        );
+        debug_assert_eq!(report.failover.lost, 0, "no request may vanish");
+        report
+    }
+}
+
+/// µs (f64) → absolute instant.
+fn us(at_us: f64) -> SimTime {
+    SimTime::ZERO + us_dur(at_us)
+}
+
+/// µs (f64) → duration.
+fn us_dur(d_us: f64) -> SimDuration {
+    SimDuration::from_ns_f64(d_us * 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{FuncOp, FunctionSpec};
+    use jord_sim::TimeDist;
+
+    fn leaf_registry() -> (FunctionRegistry, FunctionId) {
+        let mut r = FunctionRegistry::new();
+        let f = r.register(
+            FunctionSpec::new("leaf")
+                .op(FuncOp::ReadInput)
+                .op(FuncOp::Compute(TimeDist::fixed(1_000.0)))
+                .op(FuncOp::WriteOutput),
+        );
+        (r, f)
+    }
+
+    /// A cluster with `n` requests arriving every `gap_ns`.
+    fn cluster_with_load(
+        cfg: ClusterConfig,
+        n: u64,
+        gap_ns: u64,
+    ) -> (ClusterDispatcher, FunctionId) {
+        let (r, f) = leaf_registry();
+        let mut c = ClusterDispatcher::new(cfg, r).expect("valid cluster config");
+        for i in 0..n {
+            c.push_request(SimTime::from_ns(i * gap_ns), f, 256);
+        }
+        (c, f)
+    }
+
+    fn base_cfg(workers: usize) -> ClusterConfig {
+        ClusterConfig::new(workers, 42, RuntimeConfig::jord_32())
+    }
+
+    #[test]
+    fn quiet_cluster_completes_everything() {
+        let (mut c, _) = cluster_with_load(base_cfg(2), 400, 500);
+        let rep = c.run();
+        assert_eq!(rep.offered, 400);
+        assert_eq!(rep.completed, 400);
+        assert_eq!(rep.failed + rep.shed, 0);
+        assert_eq!(rep.failover.lost, 0);
+        assert_eq!(rep.failover.evictions, 0, "nobody died");
+        assert_eq!(rep.failover.failovers, 0);
+        assert!(rep.failover.heartbeats_sent > 0);
+        // Both workers served: JSQ spreads an even load.
+        for w in &rep.workers {
+            assert!(w.completed > 0, "every worker should get work");
+        }
+        let sum: u64 = rep.workers.iter().map(|w| w.completed).sum();
+        assert_eq!(sum, 400, "worker books must add up to the cluster's");
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let run = || {
+            let mut cfg = base_cfg(3);
+            cfg.heartbeat_loss_rate = 0.05;
+            cfg.hedge = Some(HedgeConfig { after_us: 8.0 });
+            let (mut c, _) = cluster_with_load(cfg, 300, 400);
+            c.run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.failover, b.failover);
+        assert_eq!(a.p99(), b.p99());
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn killing_one_of_four_loses_nothing_at_least_once() {
+        // Acceptance: same seed with and without the kill completes the
+        // same request count; nothing is lost; detection beats the
+        // configured bound.
+        let n = 1_000;
+        let (mut clean, _) = cluster_with_load(base_cfg(4), n, 300);
+        let clean_rep = clean.run();
+        assert_eq!(clean_rep.completed, n);
+
+        let mut cfg = base_cfg(4);
+        cfg.kill = Some(WorkerKill {
+            worker: 1,
+            at_us: 100.0,
+        });
+        let (mut c, _) = cluster_with_load(cfg, n, 300);
+        let rep = c.run();
+        assert_eq!(
+            rep.completed, clean_rep.completed,
+            "at-least-once failover must complete the crash-free count"
+        );
+        assert_eq!(rep.failed + rep.shed, 0);
+        assert_eq!(rep.failover.lost, 0);
+        assert_eq!(rep.failover.evictions, 1, "exactly the killed worker");
+        assert!(rep.failover.failovers > 0, "the kill stranded something");
+        assert!(
+            rep.failover.detection_ns > 0.0
+                && rep.failover.detection_ns <= rep.failover.confirm_bound_ns,
+            "detection {}ns must be within the bound {}ns",
+            rep.failover.detection_ns,
+            rep.failover.confirm_bound_ns
+        );
+        // The dead worker's report carries its own eviction.
+        assert_eq!(rep.workers[1].failover.evictions, 1);
+        assert_eq!(rep.workers[0].failover.evictions, 0);
+    }
+
+    #[test]
+    fn killing_a_worker_fails_stranded_requests_exactly_once_at_most_once() {
+        let n = 1_000;
+        let mut cfg = base_cfg(4);
+        cfg.semantics = CrashSemantics::AtMostOnce;
+        cfg.kill = Some(WorkerKill {
+            worker: 2,
+            at_us: 100.0,
+        });
+        let (mut c, _) = cluster_with_load(cfg, n, 300);
+        let rep = c.run();
+        assert!(rep.failed > 0, "the kill must strand something");
+        assert_eq!(rep.completed + rep.failed + rep.shed, n);
+        assert_eq!(rep.failover.lost, 0);
+        assert_eq!(
+            rep.failover.failovers, 0,
+            "at-most-once never re-executes a stranded request"
+        );
+    }
+
+    #[test]
+    fn heartbeat_partition_evicts_then_readmits_without_failing_requests() {
+        // Worker 1 stays perfectly alive but its heartbeats black out
+        // for 60 µs: long enough (vs the ~34.5 µs evict horizon) to be
+        // evicted, then readmitted on probation heartbeats. No request
+        // may fail: eviction of a live worker only stops new routing.
+        let n = 1_000;
+        let mut cfg = base_cfg(4);
+        cfg.partition = Some(PartitionPlan {
+            worker: 1,
+            from_us: 100.0,
+            until_us: 160.0,
+        });
+        let (mut c, _) = cluster_with_load(cfg, n, 300);
+        let rep = c.run();
+        assert_eq!(rep.completed, n, "a partition must not fail requests");
+        assert_eq!(rep.failover.lost, 0);
+        let w1 = &rep.workers[1].failover;
+        assert_eq!(w1.evictions, 1, "the blackout crosses the evict phi");
+        assert_eq!(w1.readmissions, 1, "heartbeats resume, worker rejoins");
+        assert!(w1.heartbeats_lost >= 10, "the window eats ~12 heartbeats");
+        assert_eq!(
+            rep.failover.failovers, 0,
+            "nobody died, so nothing failed over"
+        );
+    }
+
+    #[test]
+    fn hedging_duplicates_slow_requests_and_first_response_wins() {
+        let mut cfg = base_cfg(3);
+        cfg.hedge = Some(HedgeConfig { after_us: 2.0 });
+        // Tight arrivals so queues build and some requests sit past the
+        // hedge horizon.
+        let (mut c, _) = cluster_with_load(cfg, 600, 100);
+        let rep = c.run();
+        assert_eq!(rep.completed, 600);
+        assert_eq!(rep.failover.lost, 0);
+        assert!(rep.failover.hedges > 0, "load must trigger hedging");
+        // Every hedged request produces exactly one redundant copy,
+        // which is either pulled back in time or finishes late.
+        assert!(
+            rep.failover.cancelled + rep.failover.duplicated <= rep.failover.hedges,
+            "redundant copies ({} + {}) cannot outnumber hedges ({})",
+            rep.failover.cancelled,
+            rep.failover.duplicated,
+            rep.failover.hedges
+        );
+        assert!(rep.failover.hedge_wins <= rep.failover.hedges);
+    }
+
+    #[test]
+    fn drain_rebalances_queued_work_and_resumes() {
+        let mut cfg = base_cfg(2);
+        cfg.drain = Some(DrainPlan {
+            worker: 0,
+            at_us: 4.0,
+            resume_at_us: Some(40.0),
+        });
+        // 40 requests/µs against ~37/µs of cluster capacity: queues
+        // build fast, so worker 0 has undispatched work at the drain.
+        let (mut c, _) = cluster_with_load(cfg, 800, 25);
+        let rep = c.run();
+        assert_eq!(rep.completed, 800, "drain must not lose work");
+        assert_eq!(rep.failover.lost, 0);
+        assert_eq!(rep.failover.drains, 1);
+        assert!(
+            rep.failover.rebalanced > 0,
+            "queued requests must move to the peer"
+        );
+    }
+
+    #[test]
+    fn lossy_heartbeats_alone_do_not_evict() {
+        // 5% loss leaves far more signal than the evict horizon needs;
+        // suspicion may flicker, but eviction (and failover) must not
+        // happen, and every request completes.
+        let mut cfg = base_cfg(3);
+        cfg.heartbeat_loss_rate = 0.05;
+        let (mut c, _) = cluster_with_load(cfg, 600, 300);
+        let rep = c.run();
+        assert_eq!(rep.completed, 600);
+        assert_eq!(rep.failover.evictions, 0, "5% loss must not evict");
+        assert_eq!(rep.failover.failovers, 0);
+        assert!(rep.failover.heartbeats_lost > 0, "losses did happen");
+    }
+
+    #[test]
+    fn validate_rejects_bad_cluster_configs() {
+        let ok = base_cfg(2);
+        assert!(ok.validate().is_ok());
+        let mut c = base_cfg(0);
+        assert!(c.validate().is_err(), "zero workers");
+        c = base_cfg(2);
+        c.template = c.template.with_crash(CrashConfig::journal_only());
+        assert!(c.validate().is_err(), "template crash config");
+        c = base_cfg(2);
+        c.kill = Some(WorkerKill {
+            worker: 2,
+            at_us: 10.0,
+        });
+        assert!(c.validate().is_err(), "kill index out of range");
+        c = base_cfg(2);
+        c.heartbeat_loss_rate = 1.0;
+        assert!(c.validate().is_err(), "total heartbeat loss");
+        c = base_cfg(2);
+        c.partition = Some(PartitionPlan {
+            worker: 0,
+            from_us: 50.0,
+            until_us: 40.0,
+        });
+        assert!(c.validate().is_err(), "inverted partition window");
+        c = base_cfg(2);
+        c.hedge = Some(HedgeConfig { after_us: 0.0 });
+        assert!(c.validate().is_err(), "zero hedge delay");
+        c = base_cfg(2);
+        c.max_failovers = 0;
+        assert!(c.validate().is_err(), "zero failover budget");
+        c = base_cfg(2);
+        c.drain = Some(DrainPlan {
+            worker: 0,
+            at_us: 50.0,
+            resume_at_us: Some(40.0),
+        });
+        assert!(c.validate().is_err(), "resume before drain");
+    }
+}

@@ -44,6 +44,11 @@ pub enum ConfigError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The cluster configuration is malformed.
+    Cluster {
+        /// What is wrong with it.
+        reason: String,
+    },
     /// No functions are deployed in the registry.
     NoFunctions,
     /// PrivLib boot or initial VMA allocation failed.
@@ -66,6 +71,7 @@ impl fmt::Display for ConfigError {
             ConfigError::Inject { reason } => write!(f, "invalid injection config: {reason}"),
             ConfigError::Recovery { reason } => write!(f, "invalid recovery policy: {reason}"),
             ConfigError::Crash { reason } => write!(f, "invalid crash config: {reason}"),
+            ConfigError::Cluster { reason } => write!(f, "invalid cluster config: {reason}"),
             ConfigError::NoFunctions => write!(f, "no functions deployed"),
             ConfigError::Boot(e) => write!(f, "runtime boot failed: {e}"),
         }

@@ -114,6 +114,11 @@ pub struct Invocation {
     /// Which dispatch attempt this is (0 for the first; only external
     /// requests are retried).
     pub attempt: u32,
+    /// Cluster-level request tag (0 = untagged / single-worker mode).
+    /// A dispatcher above the worker uses tags to correlate terminal
+    /// notices with the request copies it routed, whatever worker-local
+    /// retries happened in between.
+    pub tag: u64,
     /// Absolute execution deadline (set at start when the recovery policy
     /// has one); blowing past it aborts the invocation.
     pub deadline: Option<SimTime>,
@@ -155,6 +160,7 @@ impl Invocation {
             pd_active: false,
             plan: InjectionPlan::CLEAN,
             attempt: 0,
+            tag: 0,
             deadline: None,
             child_failed: false,
             enqueued_at: now,

@@ -51,6 +51,8 @@ pub enum JournalRecord {
         arrival: SimTime,
         /// Dispatch attempt (0 = first).
         attempt: u32,
+        /// Cluster request tag (0 = untagged).
+        tag: u64,
     },
     /// The orchestrator pushed the request into an executor queue.
     Dispatch {
@@ -116,6 +118,8 @@ pub enum JournalRecord {
         attempt: u32,
         /// When the retry fires.
         due: SimTime,
+        /// Cluster request tag (0 = untagged).
+        tag: u64,
         /// Counted in `faults.retries`? (Crash re-admissions are not —
         /// they show up in `crash.readmitted` instead.)
         measured: bool,
@@ -132,6 +136,15 @@ pub enum JournalRecord {
         token: u64,
         /// Inside the measurement window?
         measured: bool,
+    },
+    /// An admitted-but-undispatched request was withdrawn by the tier
+    /// above the worker (a cluster dispatcher cancelling the losing copy
+    /// of a hedged request, or rebalancing a draining worker's queue).
+    /// The request is not failed — it lives on elsewhere — so the ledger
+    /// forgets it was ever offered here.
+    Cancel {
+        /// The withdrawn request.
+        id: InvocationId,
     },
     /// A component crashed ("executor" / "orchestrator" / "worker").
     Crash {
@@ -156,6 +169,8 @@ pub struct PendingInvocation {
     pub arrival: SimTime,
     /// Current attempt.
     pub attempt: u32,
+    /// Cluster request tag (0 = untagged).
+    pub tag: u64,
     /// Executor it was dispatched to, if any yet.
     pub executor: Option<usize>,
 }
@@ -171,6 +186,8 @@ pub struct PendingRetry {
     pub arrival: SimTime,
     /// The attempt the re-dispatch will carry.
     pub attempt: u32,
+    /// Cluster request tag (0 = untagged).
+    pub tag: u64,
     /// When the retry fires.
     pub due: SimTime,
 }
@@ -304,6 +321,7 @@ impl InvocationJournal {
         bytes: u64,
         arrival: SimTime,
         attempt: u32,
+        tag: u64,
     ) {
         self.push(JournalRecord::Admit {
             id,
@@ -311,6 +329,7 @@ impl InvocationJournal {
             bytes,
             arrival,
             attempt,
+            tag,
         });
         let prev = self.in_flight.insert(
             id.0,
@@ -320,6 +339,7 @@ impl InvocationJournal {
                 bytes,
                 arrival,
                 attempt,
+                tag,
                 executor: None,
             },
         );
@@ -382,6 +402,7 @@ impl InvocationJournal {
             arrival: retry.arrival,
             attempt: retry.attempt,
             due: retry.due,
+            tag: retry.tag,
             measured,
         });
         let removed = self.in_flight.remove(&id.0);
@@ -402,6 +423,14 @@ impl InvocationJournal {
         self.push(JournalRecord::RetryDropped { token, measured });
         let removed = self.pending.remove(&token);
         debug_assert!(removed.is_some(), "retry token {token} not pending");
+    }
+
+    /// An admitted-but-undispatched request was withdrawn by the tier
+    /// above; the ledger un-offers it here (it lives on elsewhere).
+    pub fn cancel(&mut self, id: InvocationId) {
+        self.push(JournalRecord::Cancel { id });
+        let removed = self.in_flight.remove(&id.0);
+        debug_assert!(removed.is_some(), "cancelled request {id:?} not in flight");
     }
 
     /// A component crashed.
@@ -434,6 +463,7 @@ impl InvocationJournal {
                     bytes,
                     arrival,
                     attempt,
+                    tag,
                 } => {
                     in_flight.insert(
                         id.0,
@@ -443,6 +473,7 @@ impl InvocationJournal {
                             bytes,
                             arrival,
                             attempt,
+                            tag,
                             executor: None,
                         },
                     );
@@ -488,6 +519,7 @@ impl InvocationJournal {
                     arrival,
                     attempt,
                     due,
+                    tag,
                     measured,
                 } => {
                     in_flight.remove(&id.0);
@@ -498,6 +530,7 @@ impl InvocationJournal {
                             bytes,
                             arrival,
                             attempt,
+                            tag,
                             due,
                         },
                     );
@@ -516,6 +549,13 @@ impl InvocationJournal {
                         warmed += 1;
                         report.offered -= 1;
                     }
+                }
+                JournalRecord::Cancel { id } => {
+                    // Mirrors the live-side effect: the request was never
+                    // served here, so it is not part of this worker's
+                    // offered count.
+                    in_flight.remove(&id.0);
+                    report.offered -= 1;
                 }
                 JournalRecord::Crash { .. } | JournalRecord::Checkpoint => {}
             }
@@ -563,6 +603,7 @@ mod tests {
             bytes: 64,
             arrival,
             attempt,
+            tag: 0,
             due,
         }
     }
@@ -575,21 +616,21 @@ mod tests {
         report.offered = 5;
         let base = ckpt(&j, report, 0);
 
-        j.admit(id(0), f, 128, SimTime::ZERO, 0);
+        j.admit(id(0), f, 128, SimTime::ZERO, 0, 0);
         j.dispatch(id(0), 3);
         j.pd_create(id(0), 7);
         j.argbuf_grant(id(0), 0x1000, 128);
         j.complete(id(0), true);
-        j.admit(id(1), f, 256, SimTime::from_us(1), 0);
+        j.admit(id(1), f, 256, SimTime::from_us(1), 0, 0);
         j.shed(f, true);
-        j.admit(id(2), f, 64, SimTime::from_us(2), 0);
+        j.admit(id(2), f, 64, SimTime::from_us(2), 0, 0);
         j.dispatch(id(2), 5);
         let tok = j.retry_scheduled(
             id(2),
             retry(f, SimTime::from_us(2), 1, SimTime::from_us(9)),
             true,
         );
-        j.admit(id(3), f, 64, SimTime::from_us(3), 0);
+        j.admit(id(3), f, 64, SimTime::from_us(3), 0, 0);
         j.fail(id(3), true);
 
         let rec = j.replay(&base);
@@ -614,7 +655,7 @@ mod tests {
     fn replay_starts_at_the_checkpoint_not_the_origin() {
         let mut j = InvocationJournal::new();
         let f = FunctionId(1);
-        j.admit(id(0), f, 128, SimTime::ZERO, 0);
+        j.admit(id(0), f, 128, SimTime::ZERO, 0, 0);
         j.complete(id(0), true);
         let mut report = RunReport::new();
         report.offered = 3;
@@ -623,7 +664,7 @@ mod tests {
         let cp = ckpt(&j, report, 0);
         assert_eq!(cp.at_record, cp_at);
 
-        j.admit(id(0), f, 128, SimTime::from_us(5), 0); // slab id reused
+        j.admit(id(0), f, 128, SimTime::from_us(5), 0, 0); // slab id reused
         j.complete(id(0), true);
         let rec = j.replay(&cp);
         assert_eq!(rec.report.completed, 2, "1 from checkpoint + 1 replayed");
@@ -638,9 +679,9 @@ mod tests {
         let mut report = RunReport::new();
         report.offered = 4;
         let cp = ckpt(&j, report, 0);
-        j.admit(id(0), f, 64, SimTime::ZERO, 0);
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
         j.complete(id(0), false); // unmeasured: slides the warmup window
-        j.admit(id(1), f, 64, SimTime::ZERO, 0);
+        j.admit(id(1), f, 64, SimTime::ZERO, 0, 0);
         j.fail(id(1), false);
         j.shed(f, false);
         let rec = j.replay(&cp);
@@ -655,13 +696,13 @@ mod tests {
     fn retry_tokens_are_monotonic_and_fire_once() {
         let mut j = InvocationJournal::new();
         let f = FunctionId(0);
-        j.admit(id(0), f, 64, SimTime::ZERO, 0);
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
         let t0 = j.retry_scheduled(
             id(0),
             retry(f, SimTime::ZERO, 1, SimTime::from_us(1)),
             false,
         );
-        j.admit(id(1), f, 64, SimTime::ZERO, 0);
+        j.admit(id(1), f, 64, SimTime::ZERO, 0, 0);
         let t1 = j.retry_scheduled(
             id(1),
             retry(f, SimTime::ZERO, 1, SimTime::from_us(2)),
@@ -670,7 +711,7 @@ mod tests {
         assert!(t1 > t0);
         assert_eq!(j.pending().len(), 2);
         j.retry_fired(t0);
-        j.admit(id(0), f, 64, SimTime::ZERO, 1);
+        j.admit(id(0), f, 64, SimTime::ZERO, 1, 0);
         assert_eq!(j.pending().len(), 1);
         assert!(j.pending().contains_key(&t1));
         assert_eq!(j.in_flight().len(), 1);
@@ -683,9 +724,9 @@ mod tests {
         let mut report = RunReport::new();
         report.offered = 2;
         let cp = ckpt(&j, report, 0);
-        j.admit(id(0), f, 64, SimTime::ZERO, 0);
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
         let t0 = j.retry_scheduled(id(0), retry(f, SimTime::ZERO, 1, SimTime::from_us(5)), true);
-        j.admit(id(1), f, 64, SimTime::ZERO, 0);
+        j.admit(id(1), f, 64, SimTime::ZERO, 0, 0);
         let t1 = j.retry_scheduled(
             id(1),
             retry(f, SimTime::ZERO, 1, SimTime::from_us(5)),
@@ -702,11 +743,73 @@ mod tests {
     }
 
     #[test]
+    fn replay_of_empty_suffix_is_the_checkpoint() {
+        // A crash landing exactly on a checkpoint replays zero records:
+        // the recovered state must be the checkpoint state, bit for bit.
+        let mut j = InvocationJournal::new();
+        let f = FunctionId(0);
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
+        j.complete(id(0), true);
+        j.admit(id(1), f, 64, SimTime::from_us(1), 0, 7);
+        let mut report = RunReport::new();
+        report.offered = 2;
+        report.completed = 1;
+        j.mark_checkpoint();
+        let cp = ckpt(&j, report, 0);
+        let rec = j.replay(&cp);
+        assert_eq!(rec.replayed, 0, "nothing after the checkpoint");
+        assert_eq!(rec.report.offered, 2);
+        assert_eq!(rec.report.completed, 1);
+        assert_eq!(rec.warmed, 0);
+        assert_eq!(rec.in_flight.len(), 1);
+        assert_eq!(rec.in_flight[&1].tag, 7, "tag survives the checkpoint");
+        assert!(rec.pending.is_empty());
+    }
+
+    #[test]
+    fn cancel_un_offers_and_replays_symmetrically() {
+        let mut j = InvocationJournal::new();
+        let f = FunctionId(0);
+        let mut report = RunReport::new();
+        report.offered = 3;
+        let cp = ckpt(&j, report, 0);
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 1);
+        j.admit(id(1), f, 64, SimTime::ZERO, 0, 2);
+        j.cancel(id(0));
+        j.complete(id(1), true);
+        assert!(j.in_flight().is_empty());
+        let rec = j.replay(&cp);
+        assert!(rec.in_flight.is_empty());
+        assert_eq!(rec.report.offered, 2, "the cancelled copy is un-offered");
+        assert_eq!(rec.report.completed, 1);
+        assert_eq!(rec.warmed, 0, "cancel is not a warmup event");
+    }
+
+    #[test]
+    fn tags_thread_through_retry_scheduling() {
+        let mut j = InvocationJournal::new();
+        let f = FunctionId(0);
+        let cp = ckpt(&j, RunReport::new(), 0);
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 9);
+        let tok = j.retry_scheduled(
+            id(0),
+            PendingRetry {
+                tag: 9,
+                ..retry(f, SimTime::ZERO, 1, SimTime::from_us(4))
+            },
+            true,
+        );
+        assert_eq!(j.pending()[&tok].tag, 9);
+        let rec = j.replay(&cp);
+        assert_eq!(rec.pending[&tok].tag, 9, "tag survives replay");
+    }
+
+    #[test]
     fn checkpoint_cadence_counts_records() {
         let mut j = InvocationJournal::new();
         assert!(!j.due_checkpoint(3));
         let f = FunctionId(0);
-        j.admit(id(0), f, 64, SimTime::ZERO, 0);
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
         j.dispatch(id(0), 0);
         assert!(!j.due_checkpoint(3));
         j.complete(id(0), true);
@@ -715,5 +818,20 @@ mod tests {
         assert!(!j.due_checkpoint(3));
         assert_eq!(j.checkpoints(), 1);
         assert_eq!(j.len(), 4, "the checkpoint mark itself is journaled");
+    }
+
+    #[test]
+    fn checkpoint_cadence_of_one_marks_after_every_record() {
+        let mut j = InvocationJournal::new();
+        let f = FunctionId(0);
+        assert!(!j.due_checkpoint(1), "an empty journal owes nothing");
+        j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
+        assert!(j.due_checkpoint(1));
+        j.mark_checkpoint();
+        assert!(!j.due_checkpoint(1), "the mark resets the cadence");
+        j.complete(id(0), true);
+        assert!(j.due_checkpoint(1));
+        j.mark_checkpoint();
+        assert_eq!(j.checkpoints(), 2);
     }
 }

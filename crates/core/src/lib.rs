@@ -43,9 +43,11 @@
 //! ```
 
 pub mod argbuf;
+pub mod cluster;
 pub mod config;
 pub mod executor;
 pub mod function;
+pub mod health;
 pub mod invocation;
 pub mod journal;
 pub mod orchestrator;
@@ -54,9 +56,14 @@ pub mod server;
 pub mod stats;
 
 pub use argbuf::ArgBuf;
+pub use cluster::{
+    ClusterConfig, ClusterDispatcher, ClusterReport, DrainPlan, HedgeConfig, PartitionPlan,
+    WorkerKill,
+};
 pub use config::{ConfigError, RecoveryPolicy, RuntimeConfig, SpillConfig, SystemVariant};
 pub use executor::Executor;
 pub use function::{FuncOp, FunctionId, FunctionRegistry, FunctionSpec};
+pub use health::{DetectorConfig, PhiAccrual, WorkerHealth};
 pub use invocation::{Invocation, InvocationId};
 pub use journal::{
     InvocationJournal, JournalRecord, PendingInvocation, PendingRetry, RecoveredState,
@@ -64,5 +71,7 @@ pub use journal::{
 };
 pub use orchestrator::Orchestrator;
 pub use recovery::{CrashConfig, CrashSemantics};
-pub use server::WorkerServer;
-pub use stats::{CrashStats, FaultStats, FunctionBreakdown, RunReport, SanitizeStats};
+pub use server::{NoticeOutcome, StrandedRequest, WorkerNotice, WorkerServer};
+pub use stats::{
+    CrashStats, FailoverStats, FaultStats, FunctionBreakdown, RunReport, SanitizeStats,
+};

@@ -23,7 +23,12 @@ use crate::stats::{CrashStats, RunReport, SanitizeStats};
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// An external request arrives from the network.
-    Arrival { func: FunctionId, bytes: u64 },
+    Arrival {
+        func: FunctionId,
+        bytes: u64,
+        /// Cluster request tag (0 = untagged / single-worker mode).
+        tag: u64,
+    },
     /// An orchestrator is ready for its next dispatch action.
     OrchWake(usize),
     /// An executor is ready for its next continuation action.
@@ -44,7 +49,52 @@ enum Event {
         /// The pending-retry token the journal tracks it under (0 when
         /// journaling is off).
         token: u64,
+        /// Cluster request tag (0 = untagged).
+        tag: u64,
     },
+}
+
+/// What a tagged external request's terminal event on this worker was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoticeOutcome {
+    /// The request completed; `latency` is receipt-to-completion on this
+    /// worker (a cluster dispatcher re-anchors at the cluster arrival).
+    Completed {
+        /// Orchestrator receipt → completion notice.
+        latency: SimDuration,
+    },
+    /// The request terminally failed here (local retries exhausted).
+    Failed,
+    /// The request was shed at admission.
+    Shed,
+}
+
+/// A terminal event for a cluster-tagged request, surfaced to the tier
+/// above the worker. Only requests pushed with a non-zero tag (via
+/// [`WorkerServer::push_tagged_request`]) produce notices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerNotice {
+    /// The cluster request tag.
+    pub tag: u64,
+    /// When the terminal event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub outcome: NoticeOutcome,
+}
+
+/// A request stranded on a worker the cluster declared dead: recovered
+/// from the journal (or the undelivered arrival queue) and handed to the
+/// dispatcher for cross-worker failover instead of local re-admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrandedRequest {
+    /// The cluster request tag (0 if an untagged request was stranded).
+    pub tag: u64,
+    /// The function.
+    pub func: FunctionId,
+    /// Payload size.
+    pub bytes: u64,
+    /// Original arrival time (latency anchors survive failover).
+    pub arrival: SimTime,
 }
 
 /// Why an invocation is being aborted.
@@ -116,6 +166,15 @@ pub struct WorkerServer {
     /// Per-function pools of sanitized PDs: `(pd, stackheap, snapshot)`
     /// triples whose code grant and stack/heap mapping are still intact.
     pd_pools: Vec<Vec<(PdId, Va, PdSnapshot)>>,
+    /// Terminal events for cluster-tagged requests since the last
+    /// [`take_notices`](Self::take_notices) drain.
+    notices: Vec<WorkerNotice>,
+    /// Journal records retired with pre-failover journal generations
+    /// (cluster crashes hand stranded work away and restart the journal;
+    /// the totals reported at seal still cover the whole run).
+    retired_journal_records: u64,
+    /// Checkpoints retired the same way.
+    retired_checkpoints: u64,
 }
 
 /// Everything a pristine process image contains: the booted machine and
@@ -178,6 +237,9 @@ impl WorkerServer {
             crash_stats: CrashStats::default(),
             sanitize_stats: SanitizeStats::default(),
             pd_pools,
+            notices: Vec::new(),
+            retired_journal_records: 0,
+            retired_checkpoints: 0,
         })
     }
 
@@ -268,53 +330,87 @@ impl WorkerServer {
     /// Schedules an external request for `func` carrying `bytes` of
     /// arguments to arrive at `time`. Call before [`run`](Self::run).
     pub fn push_request(&mut self, time: SimTime, func: FunctionId, bytes: u64) {
+        self.push_tagged_request(time, func, bytes, 0);
+    }
+
+    /// [`push_request`](Self::push_request) with a cluster tag: a non-zero
+    /// `tag` makes the request's terminal event surface as a
+    /// [`WorkerNotice`]. A cluster dispatcher may also push tagged
+    /// requests mid-run (between [`step`](Self::step)s), as long as `time`
+    /// is not in this worker's past.
+    pub fn push_tagged_request(&mut self, time: SimTime, func: FunctionId, bytes: u64, tag: u64) {
         self.report.offered += 1;
-        self.queue.push(time, Event::Arrival { func, bytes });
+        self.queue.push(time, Event::Arrival { func, bytes, tag });
     }
 
     /// Runs the simulation to completion (all injected requests finished)
     /// and returns the measurement report.
     pub fn run(&mut self) -> RunReport {
-        // Journaled runs start from a checkpoint so recovery always has a
-        // base image to replay from.
+        self.begin();
+        while self.step() {}
+        self.seal()
+    }
+
+    /// Prepares the worker for stepping: journaled runs start from a
+    /// checkpoint so recovery always has a base image to replay from.
+    /// [`run`](Self::run) calls this itself; a cluster dispatcher driving
+    /// the worker via [`step`](Self::step) calls it once up front.
+    pub fn begin(&mut self) {
         if self.journal.is_some() && self.checkpoint.is_none() {
             self.take_checkpoint(self.queue.now());
         }
-        loop {
-            // An armed crash fires the moment the next event would run at
-            // or past its instant — i.e. between events, where the DES
-            // guarantees no invocation is mid-segment.
-            if let Some(plan) = self.crash_pending {
-                let due = SimTime::ZERO + SimDuration::from_ns_f64(plan.at_us * 1_000.0);
-                if self.queue.peek_time().is_some_and(|next| next >= due) {
-                    self.crash_pending = None;
-                    self.crash_now(due.max(self.queue.now()), plan.scope);
-                    continue;
-                }
+    }
+
+    /// The time of this worker's next pending event, if any — what a
+    /// cluster dispatcher interleaving several workers under one clock
+    /// uses to pick the globally earliest event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Processes one event (or fires the armed crash); returns `false`
+    /// when the event queue is empty and the worker is quiescent.
+    pub fn step(&mut self) -> bool {
+        // An armed crash fires the moment the next event would run at
+        // or past its instant — i.e. between events, where the DES
+        // guarantees no invocation is mid-segment.
+        if let Some(plan) = self.crash_pending {
+            let due = SimTime::ZERO + SimDuration::from_ns_f64(plan.at_us * 1_000.0);
+            if self.queue.peek_time().is_some_and(|next| next >= due) {
+                self.crash_pending = None;
+                self.crash_now(due.max(self.queue.now()), plan.scope);
+                return true;
             }
-            let Some((t, ev)) = self.queue.pop() else {
-                break;
-            };
-            match ev {
-                Event::Arrival { func, bytes } => self.on_arrival(t, func, bytes),
-                Event::OrchWake(i) => self.on_orch_wake(t, i),
-                Event::ExecWake(e) => self.on_exec_wake(t, e),
-                Event::RemoteComplete(id) => self.on_remote_complete(t, id),
-                Event::Retry {
-                    func,
-                    bytes,
-                    arrival,
-                    attempt,
-                    token,
-                } => {
-                    if let Some(j) = self.journal.as_mut() {
-                        j.retry_fired(token);
-                    }
-                    self.admit(t, func, bytes, arrival, attempt);
-                }
-            }
-            self.maybe_checkpoint(t);
         }
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        match ev {
+            Event::Arrival { func, bytes, tag } => self.on_arrival(t, func, bytes, tag),
+            Event::OrchWake(i) => self.on_orch_wake(t, i),
+            Event::ExecWake(e) => self.on_exec_wake(t, e),
+            Event::RemoteComplete(id) => self.on_remote_complete(t, id),
+            Event::Retry {
+                func,
+                bytes,
+                arrival,
+                attempt,
+                token,
+                tag,
+            } => {
+                if let Some(j) = self.journal.as_mut() {
+                    j.retry_fired(token);
+                }
+                self.admit(t, func, bytes, arrival, attempt, tag);
+            }
+        }
+        self.maybe_checkpoint(t);
+        true
+    }
+
+    /// Finalizes a drained run: drains PD pools, checks the conservation
+    /// invariants, and assembles the measurement report.
+    pub fn seal(&mut self) -> RunReport {
         // Return pooled sanitized PDs before the leak accounting below.
         self.drain_pd_pools();
         debug_assert!(self.slab.is_empty(), "all invocations must complete");
@@ -330,12 +426,18 @@ impl WorkerServer {
         report.shootdown_ns = self.machine.stats().shootdown_ns;
         report.crash = self.crash_stats;
         if let Some(j) = &self.journal {
-            report.crash.journal_records = j.len() as u64;
-            report.crash.checkpoints = j.checkpoints();
+            report.crash.journal_records = j.len() as u64 + self.retired_journal_records;
+            report.crash.checkpoints = j.checkpoints() + self.retired_checkpoints;
         }
         report.sanitize = self.sanitize_stats;
         report.finished_at = self.queue.now();
         report
+    }
+
+    /// Drains the terminal notices accumulated for cluster-tagged
+    /// requests since the last call.
+    pub fn take_notices(&mut self) -> Vec<WorkerNotice> {
+        std::mem::take(&mut self.notices)
     }
 
     /// The simulated machine (post-run hardware counters).
@@ -385,15 +487,23 @@ impl WorkerServer {
     // Orchestrator side (§3.3)
     // ------------------------------------------------------------------
 
-    fn on_arrival(&mut self, t: SimTime, func: FunctionId, bytes: u64) {
-        self.admit(t, func, bytes, t, 0);
+    fn on_arrival(&mut self, t: SimTime, func: FunctionId, bytes: u64, tag: u64) {
+        self.admit(t, func, bytes, t, 0, tag);
     }
 
     /// Admission control + enqueue for external requests (fresh arrivals
     /// and backoff retries alike). When the target orchestrator's external
     /// queue exceeds the shed bound, the request is dropped at the door —
     /// graceful degradation instead of unbounded queueing collapse.
-    fn admit(&mut self, t: SimTime, func: FunctionId, bytes: u64, arrival: SimTime, attempt: u32) {
+    fn admit(
+        &mut self,
+        t: SimTime,
+        func: FunctionId,
+        bytes: u64,
+        arrival: SimTime,
+        attempt: u32,
+        tag: u64,
+    ) {
         let orch = self.rr_orch;
         self.rr_orch = (self.rr_orch + 1) % self.orchs.len();
         if let Some(bound) = self.cfg.recovery.shed_bound {
@@ -407,6 +517,13 @@ impl WorkerServer {
                 } else {
                     self.report.offered -= 1;
                 }
+                if tag != 0 {
+                    self.notices.push(WorkerNotice {
+                        tag,
+                        at: t,
+                        outcome: NoticeOutcome::Shed,
+                    });
+                }
                 return;
             }
         }
@@ -417,9 +534,10 @@ impl WorkerServer {
             t,
         );
         inv.attempt = attempt;
+        inv.tag = tag;
         let id = self.slab.insert(inv);
         if let Some(j) = self.journal.as_mut() {
-            j.admit(id, func, bytes, arrival, attempt);
+            j.admit(id, func, bytes, arrival, attempt, tag);
         }
         self.orchs[orch].external.push_back(id);
         self.wake_orch(orch, t);
@@ -1128,6 +1246,16 @@ impl WorkerServer {
                     self.warmed += 1;
                     self.report.offered -= 1;
                 }
+                let tag = self.slab.get(id).tag;
+                if tag != 0 {
+                    self.notices.push(WorkerNotice {
+                        tag,
+                        at: done,
+                        outcome: NoticeOutcome::Completed {
+                            latency: done.saturating_since(arrival),
+                        },
+                    });
+                }
                 self.orchs[orch].in_flight -= 1;
                 if self.orchs[orch].has_work() {
                     self.wake_orch(orch, done);
@@ -1391,6 +1519,7 @@ impl WorkerServer {
                                 bytes: inv.argbuf.len(),
                                 arrival,
                                 attempt: inv.attempt + 1,
+                                tag: inv.tag,
                                 due: at,
                             },
                             measured,
@@ -1404,6 +1533,7 @@ impl WorkerServer {
                             arrival,
                             attempt: inv.attempt + 1,
                             token,
+                            tag: inv.tag,
                         },
                     );
                 } else {
@@ -1419,6 +1549,13 @@ impl WorkerServer {
                         // unmeasured success.
                         self.warmed += 1;
                         self.report.offered -= 1;
+                    }
+                    if inv.tag != 0 {
+                        self.notices.push(WorkerNotice {
+                            tag: inv.tag,
+                            at: t,
+                            outcome: NoticeOutcome::Failed,
+                        });
                     }
                 }
                 if self.orchs[orch].has_work() {
@@ -1594,6 +1731,7 @@ impl WorkerServer {
                                     bytes: inv.argbuf.len(),
                                     arrival,
                                     attempt: inv.attempt,
+                                    tag: inv.tag,
                                     due,
                                 },
                                 false,
@@ -1607,6 +1745,7 @@ impl WorkerServer {
                                 arrival,
                                 attempt: inv.attempt,
                                 token,
+                                tag: inv.tag,
                             },
                         );
                         self.crash_stats.readmitted += 1;
@@ -1621,6 +1760,13 @@ impl WorkerServer {
                         } else {
                             self.warmed += 1;
                             self.report.offered -= 1;
+                        }
+                        if inv.tag != 0 {
+                            self.notices.push(WorkerNotice {
+                                tag: inv.tag,
+                                at: t,
+                                outcome: NoticeOutcome::Failed,
+                            });
                         }
                     }
                 }
@@ -1823,6 +1969,7 @@ impl WorkerServer {
                                 bytes: p.bytes,
                                 arrival: p.arrival,
                                 attempt: p.attempt,
+                                tag: p.tag,
                                 due: restart,
                             },
                             false,
@@ -1836,6 +1983,7 @@ impl WorkerServer {
                             arrival: p.arrival,
                             attempt: p.attempt,
                             token,
+                            tag: p.tag,
                         },
                     );
                     self.crash_stats.readmitted += 1;
@@ -1849,6 +1997,7 @@ impl WorkerServer {
                             arrival: r.arrival,
                             attempt: r.attempt,
                             token,
+                            tag: r.tag,
                         },
                     );
                 }
@@ -1885,6 +2034,255 @@ impl WorkerServer {
         // Re-checkpoint immediately: a second crash must replay against
         // the rebooted image, not pre-crash state.
         self.take_checkpoint(restart);
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster hooks: tagged cancellation, drain inspection, failover
+    // ------------------------------------------------------------------
+
+    /// Tags of every tagged external request that has not yet been
+    /// dispatched to an executor: undelivered network arrivals plus
+    /// requests still sitting in an orchestrator deque. A cluster drain
+    /// pulls these to rebalance them onto other workers.
+    pub fn queued_tags(&self) -> Vec<u64> {
+        let mut tags: Vec<u64> = self
+            .queue
+            .iter()
+            .filter_map(|(_, ev)| match ev {
+                Event::Arrival { tag, .. } if *tag != 0 => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        for orch in &self.orchs {
+            for &id in &orch.external {
+                let tag = self.slab.get(id).tag;
+                if tag != 0 {
+                    tags.push(tag);
+                }
+            }
+        }
+        tags
+    }
+
+    /// Best-effort cancellation of the tagged request copy on this
+    /// worker. Only a copy that has not been dispatched yet can be
+    /// cancelled: an undelivered network arrival, or a request still
+    /// queued in an orchestrator deque. A running copy is left to
+    /// finish — the cluster counts its eventual notice as a duplicate.
+    /// Cancellation un-offers the request so the worker-level
+    /// conservation invariant (`offered == completed + failed + shed`)
+    /// keeps holding without a terminal notice.
+    pub fn cancel_tagged(&mut self, tag: u64) -> bool {
+        debug_assert_ne!(tag, 0, "tag 0 means untagged");
+        // An undelivered arrival: no invocation exists yet, so only the
+        // admission count needs unwinding (nothing was journaled).
+        let pending = self.queue.drain();
+        let mut cancelled = false;
+        for (at, ev) in pending {
+            if !cancelled {
+                if let Event::Arrival { tag: t, .. } = ev {
+                    if t == tag {
+                        cancelled = true;
+                        self.report.offered -= 1;
+                        continue;
+                    }
+                }
+            }
+            self.queue.push(at, ev);
+        }
+        if cancelled {
+            return true;
+        }
+        // A queued, never-dispatched copy in an orchestrator deque:
+        // remove it, reclaim its ArgBuf, and journal the cancellation
+        // so a later replay un-offers it the same way.
+        for o in 0..self.orchs.len() {
+            let pos = self.orchs[o]
+                .external
+                .iter()
+                .position(|&id| self.slab.get(id).tag == tag);
+            if let Some(pos) = pos {
+                let id = self.orchs[o]
+                    .external
+                    .remove(pos)
+                    .expect("position is in range");
+                let inv = self.slab.remove(id);
+                let core = self.orchs[o].core;
+                if inv.argbuf.va() != 0 {
+                    self.privlib
+                        .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
+                        .expect("cancelled ArgBuf reclaim");
+                }
+                if let Some(j) = self.journal.as_mut() {
+                    j.cancel(id);
+                }
+                self.report.offered -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Kills and recovers this worker on behalf of a cluster dispatcher.
+    ///
+    /// Same recovery discipline as a standalone worker crash — replay
+    /// the journal suffix over the latest checkpoint (proving the
+    /// replayed tables against the live tables and the slab), reboot a
+    /// pristine image, validate its durable VMA footprint — but instead
+    /// of settling interrupted requests locally, every tagged request
+    /// the crash stranded (in flight, awaiting a local retry, or still
+    /// undelivered in the network queue) is returned to the caller so
+    /// the dispatcher can re-route or fail it cluster-wide.
+    ///
+    /// The worker restarts empty: fresh journal (the old one's records
+    /// are retired into the report counters), fresh checkpoint, and
+    /// `offered` rebased to the terminal counters so the conservation
+    /// invariant holds even though cluster arrivals are pushed
+    /// dynamically rather than pre-loaded.
+    pub fn crash_for_cluster(&mut self, t: SimTime) -> Vec<StrandedRequest> {
+        let checkpoint = self
+            .checkpoint
+            .clone()
+            .expect("journaled runs checkpoint at start");
+        if let Some(j) = self.journal.as_mut() {
+            j.crash("cluster-worker");
+        }
+        self.crash_stats.crashes += 1;
+        self.crash_stats.killed += self.slab.len() as u64;
+
+        // Replay and prove, exactly as in `crash_worker`.
+        let (recovered, live_in_flight, live_pending) = {
+            let j = self
+                .journal
+                .as_ref()
+                .expect("cluster workers always journal");
+            let rec = j.replay(&checkpoint);
+            (
+                rec,
+                j.in_flight().keys().copied().collect::<Vec<_>>(),
+                j.pending().keys().copied().collect::<Vec<_>>(),
+            )
+        };
+        self.crash_stats.replayed += recovered.replayed;
+        assert_eq!(
+            recovered.in_flight.keys().copied().collect::<Vec<_>>(),
+            live_in_flight,
+            "replayed in-flight table must match the journal's live table"
+        );
+        assert_eq!(
+            recovered.pending.keys().copied().collect::<Vec<_>>(),
+            live_pending,
+            "replayed pending-retry table must match the journal's live table"
+        );
+        let mut slab_externals: Vec<usize> = self
+            .slab
+            .iter()
+            .filter(|(_, inv)| matches!(inv.origin, Origin::External { .. }))
+            .map(|(id, _)| id.0)
+            .collect();
+        slab_externals.sort_unstable();
+        assert_eq!(
+            live_in_flight, slab_externals,
+            "journal in-flight table must mirror the slab's external population"
+        );
+
+        // Everything in the process dies. Unlike a standalone crash,
+        // undelivered arrivals do not survive in place: the outside
+        // world is the dispatcher, which re-routes them.
+        self.slab.clear();
+        for pool in &mut self.pd_pools {
+            pool.clear();
+        }
+        let mut stranded: Vec<StrandedRequest> = Vec::new();
+        for (_, ev) in self.queue.drain() {
+            if let Event::Arrival {
+                func,
+                bytes,
+                tag: tag @ 1..,
+            } = ev
+            {
+                stranded.push(StrandedRequest {
+                    tag,
+                    func,
+                    bytes,
+                    arrival: t,
+                });
+            }
+            // Retries are already tracked in the pending table below;
+            // wake events are lost in-memory state.
+        }
+        for p in recovered.in_flight.values() {
+            debug_assert_ne!(p.tag, 0, "cluster-mode requests are always tagged");
+            stranded.push(StrandedRequest {
+                tag: p.tag,
+                func: p.func,
+                bytes: p.bytes,
+                arrival: p.arrival,
+            });
+        }
+        for r in recovered.pending.values() {
+            debug_assert_ne!(r.tag, 0, "cluster-mode requests are always tagged");
+            stranded.push(StrandedRequest {
+                tag: r.tag,
+                func: r.func,
+                bytes: r.bytes,
+                arrival: r.arrival,
+            });
+        }
+
+        // Reboot to the pristine image and check it reproduces the
+        // checkpoint's durable (privileged/global) mappings bit-for-bit.
+        let parts =
+            Self::boot_parts(&self.cfg, &self.registry).expect("reboot of a validated config");
+        self.machine = parts.machine;
+        self.privlib = parts.privlib;
+        self.code_vmas = parts.code_vmas;
+        self.privlib_code = parts.privlib_code;
+        self.orchs = parts.orchs;
+        self.execs = parts.execs;
+        self.rr_orch = 0;
+        assert_eq!(
+            self.privlib.table_snapshot().durable_footprint(),
+            checkpoint.vma.durable_footprint(),
+            "reboot must reproduce the checkpoint's durable mappings"
+        );
+        for (class, (&now_free, &cp_free)) in self
+            .privlib
+            .free_slot_counts()
+            .iter()
+            .zip(checkpoint.free_slots.iter())
+            .enumerate()
+        {
+            assert!(
+                now_free >= cp_free,
+                "size class {class}: rebooted free slots {now_free} < checkpoint's {cp_free}"
+            );
+        }
+
+        // Restore the replayed ledger. Cluster arrivals are pushed
+        // dynamically (never pre-loaded), so the checkpointed `offered`
+        // undercounts by whatever was in the network at checkpoint
+        // time; the stranded requests leave this worker's books
+        // entirely, so rebase `offered` on the terminal counters.
+        self.report = recovered.report;
+        self.report.offered =
+            self.report.completed + self.report.faults.failed + self.report.faults.sheds;
+        self.warmed = recovered.warmed;
+        self.rng = checkpoint.rng.clone();
+        self.injector = checkpoint.injector.clone();
+
+        // Retire the dead process's journal into the cumulative
+        // counters and start a fresh one for the rebooted image: the
+        // stranded requests are the dispatcher's problem now, so the
+        // new journal's live tables are rightly empty.
+        if let Some(j) = &self.journal {
+            self.retired_journal_records += j.len() as u64;
+            self.retired_checkpoints += j.checkpoints();
+        }
+        self.journal = Some(InvocationJournal::new());
+        self.checkpoint = None;
+        self.take_checkpoint(t);
+        stranded
     }
 
     /// Destroys every pooled sanitized PD (end of run): revoke the code
@@ -2359,6 +2757,7 @@ mod tests {
                     runaway_rate: 0.01,
                     runaway_factor: 20.0,
                     vlb_glitch_rate: 0.001,
+                    ..InjectConfig::default()
                 })
                 .with_recovery(RecoveryPolicy {
                     max_retries: 2,
@@ -2760,5 +3159,235 @@ mod tests {
         assert_eq!(rep.completed, 300);
         assert!(rep.sanitize.pooled_setups > 0);
         assert_contained(&s, &rep, vmas, pds);
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster hooks: tagged notices, cancellation, cross-worker crash
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn tagged_requests_emit_notices_untagged_do_not() {
+        let (r, f) = registry_leaf();
+        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
+        for i in 0..5u64 {
+            s.push_tagged_request(SimTime::from_ns(i * 2_000), f, 128, i + 1);
+        }
+        for i in 0..5u64 {
+            s.push_request(SimTime::from_ns(i * 2_000 + 1_000), f, 128);
+        }
+        let rep = s.run();
+        assert_eq!(rep.completed, 10);
+        let notices = s.take_notices();
+        let mut tags: Vec<u64> = notices.iter().map(|n| n.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(
+            tags,
+            vec![1, 2, 3, 4, 5],
+            "one notice per tag, none for untagged"
+        );
+        for n in &notices {
+            match n.outcome {
+                NoticeOutcome::Completed { latency } => {
+                    assert!(latency > SimDuration::ZERO, "leaf work takes time");
+                    assert!(n.at > SimTime::ZERO);
+                }
+                other => panic!("quiet run must complete everything, got {other:?}"),
+            }
+        }
+        assert!(s.take_notices().is_empty(), "take_notices drains");
+    }
+
+    #[test]
+    fn cancel_tagged_unoffers_an_undelivered_arrival() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        for i in 0..20u64 {
+            // Arrivals far enough apart that tag 20 is still undelivered
+            // in the event queue when we cancel it.
+            s.push_tagged_request(SimTime::from_us(i * 10), f, 128, i + 1);
+        }
+        s.begin();
+        assert!(s.cancel_tagged(20), "tag 20 sits undelivered in the queue");
+        assert!(!s.cancel_tagged(20), "a cancelled tag is gone");
+        assert!(!s.cancel_tagged(999), "unknown tags are not found");
+        while s.step() {}
+        let rep = s.seal();
+        // seal() asserts conservation; the cancel must have un-offered.
+        assert_eq!(rep.offered, 19);
+        assert_eq!(rep.completed, 19);
+        let tags: Vec<u64> = s.take_notices().iter().map(|n| n.tag).collect();
+        assert!(
+            !tags.contains(&20),
+            "no terminal notice for a cancelled tag"
+        );
+        assert_eq!(tags.len(), 19);
+    }
+
+    #[test]
+    fn cancel_tagged_reaches_the_orchestrator_deque() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let n = 400u64;
+        for i in 0..n {
+            s.push_tagged_request(SimTime::from_ps(i), f, 128, i + 1);
+        }
+        s.begin();
+        // The arrivals (picosecond spacing) are the earliest n events:
+        // after n steps every request has been admitted, and anything not
+        // yet dispatched sits in an orchestrator's external deque.
+        for _ in 0..n {
+            assert!(s.step());
+        }
+        let queued = s.queued_tags();
+        assert!(
+            !queued.is_empty(),
+            "a 400-request burst must out-run the executor pool"
+        );
+        let victim = queued[0];
+        assert!(s.cancel_tagged(victim), "deque-resident tag is cancellable");
+        while s.step() {}
+        let rep = s.seal();
+        assert_eq!(rep.offered, n - 1);
+        assert_eq!(rep.completed, n - 1);
+        let tags: Vec<u64> = s.take_notices().iter().map(|n| n.tag).collect();
+        assert!(!tags.contains(&victim));
+    }
+
+    #[test]
+    fn crash_for_cluster_strands_everything_unfinished() {
+        let (r, f) = registry_leaf();
+        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
+        let mut s = WorkerServer::new(cfg, r).unwrap();
+        let vmas = s.privlib().live_vmas();
+        let pds = s.privlib().live_pds();
+        let n = 600u64;
+        for i in 0..n {
+            s.push_tagged_request(SimTime::from_ps(i), f, 128, i + 1);
+        }
+        s.begin();
+        for _ in 0..1_500 {
+            assert!(s.step(), "600 leaf requests take well over 1500 events");
+        }
+        let done_before: Vec<u64> = s.take_notices().iter().map(|n| n.tag).collect();
+        let crash_at = s.next_event_time().expect("work remains");
+        let stranded = s.crash_for_cluster(crash_at);
+
+        // Completed ∪ stranded partitions the offered set exactly.
+        assert!(!stranded.is_empty(), "a mid-burst crash strands work");
+        assert_eq!(done_before.len() + stranded.len(), n as usize);
+        let mut all: Vec<u64> = done_before
+            .iter()
+            .copied()
+            .chain(stranded.iter().map(|sr| sr.tag))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n as usize, "no tag lost or duplicated");
+        for sr in &stranded {
+            assert_eq!(sr.func, f);
+            assert_eq!(sr.bytes, 128);
+        }
+
+        // The dispatcher re-routes stranded work elsewhere; here we play
+        // both roles and hand it back to the same (rebooted) worker.
+        for (i, sr) in stranded.iter().enumerate() {
+            s.push_tagged_request(
+                crash_at + SimDuration::from_ns(i as u64),
+                sr.func,
+                sr.bytes,
+                sr.tag,
+            );
+        }
+        while s.step() {}
+        let rep = s.seal();
+        assert_eq!(rep.crash.crashes, 1);
+        assert!(rep.crash.killed > 0, "a mid-burst crash interrupts work");
+        assert_eq!(rep.completed, n, "rebooted worker finishes the strandees");
+        assert_eq!(rep.offered, rep.completed);
+        assert!(
+            rep.crash.journal_records > 0 && rep.crash.checkpoints >= 2,
+            "retired journal history must fold into the sealed report"
+        );
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn crash_before_the_first_cadence_checkpoint_recovers() {
+        // Satellite: with a cadence so long that only begin()'s initial
+        // checkpoint exists, an early crash must replay the entire
+        // journal prefix from that initial checkpoint and lose nothing.
+        let cfg = RuntimeConfig::jord_32().with_crash(
+            CrashConfig::new(CrashPlan::worker_at(2.0), CrashSemantics::AtLeastOnce)
+                .checkpoint_every(1_000_000),
+        );
+        let (mut s, vmas, pds) = crash_workload(cfg);
+        let rep = s.run();
+        assert_eq!(rep.crash.crashes, 1);
+        assert_eq!(
+            rep.crash.checkpoints, 2,
+            "initial checkpoint plus the post-recovery one, no cadence"
+        );
+        assert!(rep.crash.replayed > 0, "everything replays from t=0");
+        assert_eq!(rep.completed, 4_000, "at-least-once loses nothing");
+        assert_eq!(rep.faults.failed, 0);
+        assert_contained(&s, &rep, vmas, pds);
+    }
+
+    #[test]
+    fn checkpoint_cadence_one_matches_the_default_cadence() {
+        // Satellite: checkpoint frequency is a pure performance knob —
+        // recovery outcomes are identical whether the journal suffix is
+        // one record or sixty-four.
+        let run_with = |every: usize| {
+            let cfg = RuntimeConfig::jord_32().with_crash(
+                CrashConfig::new(CrashPlan::worker_at(150.0), CrashSemantics::AtLeastOnce)
+                    .checkpoint_every(every),
+            );
+            let (mut s, _, _) = crash_workload(cfg);
+            s.run()
+        };
+        let fine = run_with(1);
+        let coarse = run_with(64);
+        assert_eq!(fine.completed, coarse.completed);
+        assert_eq!(fine.offered, coarse.offered);
+        assert_eq!(fine.faults.failed, coarse.faults.failed);
+        assert_eq!(fine.crash.crashes, 1);
+        assert!(
+            fine.crash.checkpoints > coarse.crash.checkpoints,
+            "cadence 1 checkpoints far more often ({} vs {})",
+            fine.crash.checkpoints,
+            coarse.crash.checkpoints
+        );
+    }
+
+    #[test]
+    fn manual_stepping_matches_run() {
+        // The cluster drives workers with begin/step/seal; a solo worker
+        // uses run(). Both must produce the same world.
+        let (r, f) = registry_leaf();
+        let mk = || {
+            let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
+            let mut s = WorkerServer::new(cfg, r.clone()).unwrap();
+            for i in 0..500u64 {
+                s.push_tagged_request(SimTime::from_ns(i * 300), f, 128, i + 1);
+            }
+            s
+        };
+        let mut auto = mk();
+        let auto_rep = auto.run();
+        let mut manual = mk();
+        manual.begin();
+        while manual.step() {}
+        let manual_rep = manual.seal();
+        assert_eq!(auto_rep.completed, manual_rep.completed);
+        assert_eq!(auto_rep.offered, manual_rep.offered);
+        assert_eq!(auto_rep.finished_at, manual_rep.finished_at);
+        assert_eq!(
+            auto_rep.crash.journal_records,
+            manual_rep.crash.journal_records
+        );
+        assert_eq!(auto.take_notices(), manual.take_notices());
     }
 }

@@ -64,6 +64,80 @@ pub struct CrashStats {
     pub readmitted: u64,
 }
 
+/// Cluster-layer failover counters: what the dispatcher's health and
+/// routing machinery did to (or for) this worker, or — in the cluster-wide
+/// copy — across the whole fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FailoverStats {
+    /// Heartbeats the worker emitted while alive.
+    pub heartbeats_sent: u64,
+    /// Heartbeats dropped by the network (loss rate or partition) —
+    /// *not* absent because the worker was dead.
+    pub heartbeats_lost: u64,
+    /// Suspect transitions (phi crossed the suspect threshold).
+    pub suspects: u64,
+    /// Suspicions retracted by a later heartbeat — the worker was alive
+    /// all along (false positives the evict threshold never saw).
+    pub false_suspects: u64,
+    /// Evictions (phi crossed the confirm/evict threshold).
+    pub evictions: u64,
+    /// Evicted workers readmitted after consecutive delivered heartbeats.
+    pub readmissions: u64,
+    /// Requests failed over from a dead worker to a healthy peer.
+    pub failovers: u64,
+    /// Requests routed to a worker that was already dead but not yet
+    /// evicted (the detection window's misrouting cost).
+    pub misrouted: u64,
+    /// Duplicate terminal notices for an already-settled request (a
+    /// hedged or failed-over copy that could not be cancelled in time).
+    pub duplicated: u64,
+    /// Hedge copies dispatched for slow-tail requests.
+    pub hedges: u64,
+    /// Requests whose hedge copy answered first.
+    pub hedge_wins: u64,
+    /// Redundant copies cancelled before dispatch (first-response-wins).
+    pub cancelled: u64,
+    /// Queued requests re-routed off a draining worker.
+    pub rebalanced: u64,
+    /// Graceful drains performed.
+    pub drains: u64,
+    /// Requests with no terminal outcome at the end of the run. The
+    /// cluster conservation invariant is
+    /// `offered == completed + failed + shed`, so this must be 0 — it is
+    /// reported rather than silently asserted away.
+    pub lost: u64,
+    /// Worst-case measured detection latency (kill → eviction), ns.
+    pub detection_ns: f64,
+    /// The configured confirm bound at that eviction: one heartbeat
+    /// interval plus the silence needed to reach the evict threshold, ns.
+    /// Detection latency below this bound means the detector fired no
+    /// later than its configuration promises.
+    pub confirm_bound_ns: f64,
+}
+
+impl FailoverStats {
+    /// Folds another worker's counters into this (cluster-level) copy.
+    pub fn merge(&mut self, other: &FailoverStats) {
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeats_lost += other.heartbeats_lost;
+        self.suspects += other.suspects;
+        self.false_suspects += other.false_suspects;
+        self.evictions += other.evictions;
+        self.readmissions += other.readmissions;
+        self.failovers += other.failovers;
+        self.misrouted += other.misrouted;
+        self.duplicated += other.duplicated;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
+        self.cancelled += other.cancelled;
+        self.rebalanced += other.rebalanced;
+        self.drains += other.drains;
+        self.lost += other.lost;
+        self.detection_ns = self.detection_ns.max(other.detection_ns);
+        self.confirm_bound_ns = self.confirm_bound_ns.max(other.confirm_bound_ns);
+    }
+}
+
 /// PD snapshot-sanitization counters (Groundhog-style restore-to-pristine
 /// instead of teardown-and-rebuild).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -190,6 +264,9 @@ pub struct RunReport {
     pub crash: CrashStats,
     /// PD snapshot-sanitization counters.
     pub sanitize: SanitizeStats,
+    /// Cluster-failover counters; all zero in single-worker runs (filled
+    /// in by the cluster dispatcher at the end of a cluster run).
+    pub failover: FailoverStats,
 }
 
 impl RunReport {
@@ -209,6 +286,7 @@ impl RunReport {
             faults: FaultStats::default(),
             crash: CrashStats::default(),
             sanitize: SanitizeStats::default(),
+            failover: FailoverStats::default(),
         }
     }
 

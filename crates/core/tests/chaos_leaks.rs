@@ -117,6 +117,7 @@ proptest! {
                 runaway_rate: s.runaway_rate,
                 runaway_factor: 50.0,
                 vlb_glitch_rate: s.vlb_glitch_rate,
+                ..InjectConfig::default()
             })
             .with_recovery(RecoveryPolicy {
                 max_retries: s.max_retries,

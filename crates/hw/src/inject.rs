@@ -17,6 +17,53 @@ use jord_sim::Rng;
 
 use crate::fault::FaultKind;
 
+/// A deterministic heartbeat blackout: every heartbeat sent in
+/// `[from_us, until_us)` is dropped, as if the network path between the
+/// worker and the dispatcher partitioned for that interval. The worker
+/// itself keeps running — only its liveness signal disappears — which is
+/// exactly the false-positive scenario a failure detector must survive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionWindow {
+    /// Partition start, µs of simulated time (inclusive).
+    pub from_us: f64,
+    /// Partition end, µs of simulated time (exclusive).
+    pub until_us: f64,
+}
+
+impl PartitionWindow {
+    /// A partition lasting from `from_us` (inclusive) to `until_us`
+    /// (exclusive).
+    pub fn new(from_us: f64, until_us: f64) -> Self {
+        PartitionWindow { from_us, until_us }
+    }
+
+    /// True when a heartbeat sent at `at_us` falls inside the blackout.
+    pub fn contains(&self, at_us: f64) -> bool {
+        at_us >= self.from_us && at_us < self.until_us
+    }
+
+    /// Checks the window is finite, ordered, and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.from_us.is_finite() || !self.until_us.is_finite() || self.from_us < 0.0 {
+            return Err(format!(
+                "partition window must be finite and non-negative, got [{}, {})",
+                self.from_us, self.until_us
+            ));
+        }
+        if self.until_us <= self.from_us {
+            return Err(format!(
+                "partition window must end after it starts, got [{}, {})",
+                self.from_us, self.until_us
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Injection rates; all default to zero (no injection).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InjectConfig {
@@ -33,6 +80,14 @@ pub struct InjectConfig {
     /// that flushes the accessing core's VLBs. Costs nothing directly;
     /// the penalty emerges from forced VTW re-walks.
     pub vlb_glitch_rate: f64,
+    /// Per-heartbeat probability that the liveness message is dropped in
+    /// the network without the worker being dead.
+    pub heartbeat_loss_rate: f64,
+    /// A deterministic heartbeat blackout window (network partition).
+    /// Unlike [`heartbeat_loss_rate`](Self::heartbeat_loss_rate) it drops
+    /// *every* heartbeat in the window, long enough silence to drive a
+    /// failure detector through suspect → evict on a live worker.
+    pub partition: Option<PartitionWindow>,
 }
 
 impl Default for InjectConfig {
@@ -42,6 +97,8 @@ impl Default for InjectConfig {
             runaway_rate: 0.0,
             runaway_factor: 50.0,
             vlb_glitch_rate: 0.0,
+            heartbeat_loss_rate: 0.0,
+            partition: None,
         }
     }
 }
@@ -65,6 +122,7 @@ impl InjectConfig {
             ("fault_rate", self.fault_rate),
             ("runaway_rate", self.runaway_rate),
             ("vlb_glitch_rate", self.vlb_glitch_rate),
+            ("heartbeat_loss_rate", self.heartbeat_loss_rate),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(format!("{name} must be a probability, got {p}"));
@@ -77,12 +135,19 @@ impl InjectConfig {
                 self.runaway_factor
             ));
         }
+        if let Some(window) = &self.partition {
+            window.validate()?;
+        }
         Ok(())
     }
 
     /// True when every rate is zero (the injector will never fire).
     pub fn is_inert(&self) -> bool {
-        self.fault_rate == 0.0 && self.runaway_rate == 0.0 && self.vlb_glitch_rate == 0.0
+        self.fault_rate == 0.0
+            && self.runaway_rate == 0.0
+            && self.vlb_glitch_rate == 0.0
+            && self.heartbeat_loss_rate == 0.0
+            && self.partition.is_none()
     }
 }
 
@@ -248,6 +313,19 @@ impl FaultInjector {
     pub fn glitch(&mut self) -> bool {
         self.cfg.vlb_glitch_rate > 0.0 && self.rng.chance(self.cfg.vlb_glitch_rate)
     }
+
+    /// Decides whether a heartbeat sent at `at_us` reaches the dispatcher.
+    ///
+    /// The partition window is checked first and consumes no randomness,
+    /// so adding or moving a blackout never perturbs the random-loss
+    /// stream; likewise a zero loss rate draws nothing, keeping clean
+    /// configs byte-identical to runs without the feature.
+    pub fn heartbeat_delivered(&mut self, at_us: f64) -> bool {
+        if self.cfg.partition.is_some_and(|w| w.contains(at_us)) {
+            return false;
+        }
+        !(self.cfg.heartbeat_loss_rate > 0.0 && self.rng.chance(self.cfg.heartbeat_loss_rate))
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +427,118 @@ mod tests {
         assert_eq!(o.scope, CrashScope::Orchestrator(1));
         assert_eq!(o.scope.label(), "orchestrator");
         assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn partition_window_drops_exactly_its_interval() {
+        let cfg = InjectConfig {
+            partition: Some(PartitionWindow::new(100.0, 200.0)),
+            ..InjectConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, Rng::new(5));
+        assert!(inj.heartbeat_delivered(99.9));
+        assert!(!inj.heartbeat_delivered(100.0), "start is inclusive");
+        assert!(!inj.heartbeat_delivered(150.0));
+        assert!(inj.heartbeat_delivered(200.0), "end is exclusive");
+        assert!(inj.heartbeat_delivered(10_000.0));
+    }
+
+    #[test]
+    fn heartbeat_loss_rate_is_roughly_honoured() {
+        let cfg = InjectConfig {
+            heartbeat_loss_rate: 0.2,
+            ..InjectConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, Rng::new(13));
+        let n = 40_000;
+        let lost = (0..n)
+            .filter(|i| !inj.heartbeat_delivered(*i as f64))
+            .count();
+        let p = lost as f64 / n as f64;
+        assert!((0.18..0.22).contains(&p), "empirical loss rate {p}");
+    }
+
+    #[test]
+    fn partition_consumes_no_randomness() {
+        // Two injectors with the same loss stream, one also partitioned:
+        // outside the window their random-loss decisions must agree
+        // heartbeat-for-heartbeat, because blackout drops draw nothing.
+        let base = InjectConfig {
+            heartbeat_loss_rate: 0.3,
+            ..InjectConfig::default()
+        };
+        let cut = InjectConfig {
+            partition: Some(PartitionWindow::new(50.0, 60.0)),
+            ..base
+        };
+        // The plain injector only sees the heartbeats outside the window
+        // (it stands in for "the same run without the partition feature").
+        let mut a = FaultInjector::new(base, Rng::new(21));
+        let mut b = FaultInjector::new(cut, Rng::new(21));
+        for i in 0..200 {
+            let at = i as f64;
+            if (50.0..60.0).contains(&at) {
+                assert!(
+                    !b.heartbeat_delivered(at),
+                    "inside the window every heartbeat drops"
+                );
+            } else {
+                assert_eq!(
+                    a.heartbeat_delivered(at),
+                    b.heartbeat_delivered(at),
+                    "heartbeat {at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_heartbeat_config_always_delivers() {
+        let mut inj = FaultInjector::new(InjectConfig::default(), Rng::new(7));
+        for i in 0..1_000 {
+            assert!(inj.heartbeat_delivered(i as f64));
+        }
+        assert!(InjectConfig::default().is_inert());
+        let not_inert = InjectConfig {
+            heartbeat_loss_rate: 0.1,
+            ..InjectConfig::default()
+        };
+        assert!(!not_inert.is_inert());
+        let not_inert = InjectConfig {
+            partition: Some(PartitionWindow::new(0.0, 1.0)),
+            ..InjectConfig::default()
+        };
+        assert!(!not_inert.is_inert());
+    }
+
+    #[test]
+    fn validate_rejects_bad_heartbeat_config() {
+        let bad = InjectConfig {
+            heartbeat_loss_rate: 1.5,
+            ..InjectConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = InjectConfig {
+            partition: Some(PartitionWindow::new(10.0, 10.0)),
+            ..InjectConfig::default()
+        };
+        assert!(bad.validate().is_err(), "empty window is a config bug");
+        let bad = InjectConfig {
+            partition: Some(PartitionWindow::new(-1.0, 10.0)),
+            ..InjectConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = InjectConfig {
+            partition: Some(PartitionWindow::new(0.0, f64::NAN)),
+            ..InjectConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let good = InjectConfig {
+            heartbeat_loss_rate: 0.01,
+            partition: Some(PartitionWindow::new(5.0, 25.0)),
+            ..InjectConfig::default()
+        };
+        assert!(good.validate().is_ok());
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub use coherence::CoherenceModel;
 pub use config::MachineConfig;
 pub use csr::{CoreCsrs, Csr};
 pub use fault::{Fault, FaultKind};
-pub use inject::{CrashPlan, CrashScope, FaultInjector, InjectConfig, InjectionPlan, PlannedFault};
+pub use inject::{
+    CrashPlan, CrashScope, FaultInjector, InjectConfig, InjectionPlan, PartitionWindow,
+    PlannedFault,
+};
 pub use machine::{HwStats, Machine};
 pub use noc::Noc;
 pub use types::{CoreId, CoreSet, LineAddr, PdId, Perm, Va, VlbEntry, VteAddr};

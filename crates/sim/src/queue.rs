@@ -115,6 +115,13 @@ impl<E> EventQueue<E> {
         self.last_popped
     }
 
+    /// Iterates over every pending event in arbitrary (heap) order.
+    /// Inspection only — a cluster drain uses this to discover which
+    /// requests are still undelivered without disturbing the schedule.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.heap.iter().map(|e| (e.time, &e.event))
+    }
+
     /// Empties the queue, returning every pending event in pop order
     /// (time-ascending, FIFO ties). `now()` is left unchanged, so events
     /// re-pushed from the drained list keep their timestamps.

@@ -27,7 +27,11 @@
 //! * [`crash`] — crash/recovery campaigns that kill an executor, an
 //!   orchestrator, or the whole worker mid-run and assert the write-ahead
 //!   journal loses nothing (`offered == completed + failed + sheds`, and
-//!   at-least-once parity with the crash-free baseline).
+//!   at-least-once parity with the crash-free baseline),
+//! * [`failover`] — cluster campaigns that run N workers behind a
+//!   [`jord_core::ClusterDispatcher`], kill or partition one mid-run, and
+//!   assert the phi-accrual detector convicts within its configured bound
+//!   while cross-worker failover keeps the ledger balanced.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 pub mod apps;
 pub mod chaos;
 pub mod crash;
+pub mod failover;
 pub mod loadgen;
 pub mod runner;
 pub mod slo;
@@ -56,6 +61,7 @@ pub mod slo;
 pub use apps::{EntryPoint, Workload, WorkloadKind};
 pub use chaos::{ChaosPoint, ChaosReport, ChaosSpec};
 pub use crash::{CrashCampaign, CrashPoint, CrashReport};
+pub use failover::{FailoverCampaign, FailoverPoint, FailoverReport};
 pub use loadgen::LoadGen;
 pub use runner::{run_system, SweepPoint, System};
 pub use slo::{measure_slo, throughput_under_slo};
