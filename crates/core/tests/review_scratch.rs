@@ -1,0 +1,62 @@
+//! Scratch test (review): kill a worker that is already Draining / Evicted.
+
+use jord_core::{
+    ClusterConfig, ClusterDispatcher, DrainPlan, FuncOp, FunctionRegistry, FunctionSpec,
+    PartitionPlan, RuntimeConfig, WorkerKill,
+};
+use jord_sim::{SimTime, TimeDist};
+
+fn registry() -> (FunctionRegistry, jord_core::FunctionId) {
+    let mut r = FunctionRegistry::new();
+    let f = r.register(
+        FunctionSpec::new("leaf")
+            .op(FuncOp::ReadInput)
+            .op(FuncOp::Compute(TimeDist::fixed(1_000.0)))
+            .op(FuncOp::WriteOutput),
+    );
+    (r, f)
+}
+
+#[test]
+fn kill_after_drain_on_same_worker_terminates() {
+    let mut cfg = ClusterConfig::new(2, 42, RuntimeConfig::jord_32());
+    cfg.drain = Some(DrainPlan {
+        worker: 0,
+        at_us: 4.0,
+        resume_at_us: None,
+    });
+    cfg.kill = Some(WorkerKill {
+        worker: 0,
+        at_us: 6.0,
+    });
+    let (r, f) = registry();
+    let mut c = ClusterDispatcher::new(cfg, r).unwrap();
+    for i in 0..200u64 {
+        c.push_request(SimTime::from_ns(i * 100), f, 256);
+    }
+    let rep = c.run();
+    assert_eq!(rep.failover.lost, 0);
+}
+
+#[test]
+fn kill_during_partition_eviction_terminates() {
+    let mut cfg = ClusterConfig::new(2, 42, RuntimeConfig::jord_32());
+    cfg.partition = Some(PartitionPlan {
+        worker: 0,
+        from_us: 10.0,
+        until_us: 500.0,
+    });
+    // Default detector: evict ~34.5us of silence after last heartbeat,
+    // so worker 0 is Evicted well before the kill at 60us.
+    cfg.kill = Some(WorkerKill {
+        worker: 0,
+        at_us: 60.0,
+    });
+    let (r, f) = registry();
+    let mut c = ClusterDispatcher::new(cfg, r).unwrap();
+    for i in 0..400u64 {
+        c.push_request(SimTime::from_ns(i * 200), f, 256);
+    }
+    let rep = c.run();
+    assert_eq!(rep.failover.lost, 0);
+}
