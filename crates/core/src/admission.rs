@@ -1,0 +1,183 @@
+//! Admission policy: routing, shedding, deadlines, and retry disposition.
+//!
+//! Everything the worker decides *about* a request before and between
+//! executions lives here — which orchestrator receives it (round-robin),
+//! whether it is shed (queue over the bound), what deadline it runs
+//! under, and whether a failed attempt retries (capped exponential
+//! backoff) or fails terminally. The server asks; this module answers;
+//! the resulting state change still goes through
+//! [`lifecycle::transition`](crate::lifecycle::transition) like every
+//! other.
+
+use jord_sim::{SimDuration, SimTime};
+
+use crate::config::RecoveryPolicy;
+
+/// What to do with a failed dispatch attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureDisposition {
+    /// Schedule a re-dispatch after backoff.
+    Retry {
+        /// The attempt number the re-dispatch will carry.
+        attempt: u32,
+        /// Backoff delay before it fires.
+        delay: SimDuration,
+    },
+    /// Retries exhausted: the request terminally fails.
+    Fail,
+}
+
+/// The worker's admission/retry policy engine.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    policy: RecoveryPolicy,
+    orchestrators: usize,
+    /// Per-orchestrator admission window: how many dispatched-but-
+    /// unfinished externals an orchestrator may have before admission
+    /// stops pulling from its external queue.
+    window: usize,
+    /// Round-robin cursor over orchestrators.
+    rr: usize,
+}
+
+impl AdmissionPolicy {
+    /// A policy for a worker with `orchestrators` orchestrators sharing
+    /// `executors` executor cores.
+    pub fn new(policy: RecoveryPolicy, orchestrators: usize, executors: usize) -> Self {
+        AdmissionPolicy {
+            policy,
+            orchestrators,
+            // Deep enough to keep every executor busy through dispatch
+            // latency, floored so tiny machines still pipeline.
+            window: (8 * executors / orchestrators).max(16),
+            rr: 0,
+        }
+    }
+
+    /// The per-orchestrator admission window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The orchestrator the next arrival routes to (advances the
+    /// round-robin cursor).
+    pub fn route(&mut self) -> usize {
+        let orch = self.rr;
+        self.rr = (self.rr + 1) % self.orchestrators;
+        orch
+    }
+
+    /// Resets the routing cursor (a rebooted worker starts fresh).
+    pub fn reset_routing(&mut self) {
+        self.rr = 0;
+    }
+
+    /// Should an arrival be shed, given its orchestrator's external-queue
+    /// depth?
+    pub fn should_shed(&self, queue_len: usize) -> bool {
+        self.policy
+            .shed_bound
+            .is_some_and(|bound| queue_len >= bound)
+    }
+
+    /// The absolute deadline for an execution starting at `start`, if the
+    /// policy sets one.
+    pub fn deadline_for(&self, start: SimTime) -> Option<SimTime> {
+        self.policy
+            .deadline_us
+            .map(|us| start + SimDuration::from_ns_f64(us * 1_000.0))
+    }
+
+    /// Disposition for a failed attempt numbered `attempt`.
+    pub fn on_failure(&self, attempt: u32) -> FailureDisposition {
+        if attempt < self.policy.max_retries {
+            FailureDisposition::Retry {
+                attempt: attempt + 1,
+                delay: self.policy.backoff(attempt),
+            }
+        } else {
+            FailureDisposition::Fail
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_us: 2.0,
+            backoff_cap_us: 8.0,
+            deadline_us: Some(100.0),
+            shed_bound: Some(4),
+        }
+    }
+
+    #[test]
+    fn round_robin_wraps_and_resets() {
+        let mut a = AdmissionPolicy::new(policy(), 3, 12);
+        assert_eq!([a.route(), a.route(), a.route(), a.route()], [0, 1, 2, 0]);
+        a.reset_routing();
+        assert_eq!(a.route(), 0);
+    }
+
+    #[test]
+    fn window_scales_with_executor_share() {
+        assert_eq!(AdmissionPolicy::new(policy(), 4, 28).window(), 56);
+        assert_eq!(AdmissionPolicy::new(policy(), 1, 1).window(), 16, "floored");
+    }
+
+    #[test]
+    fn shed_bound_is_inclusive() {
+        let a = AdmissionPolicy::new(policy(), 1, 4);
+        assert!(!a.should_shed(3));
+        assert!(a.should_shed(4));
+        let open = AdmissionPolicy::new(
+            RecoveryPolicy {
+                shed_bound: None,
+                ..policy()
+            },
+            1,
+            4,
+        );
+        assert!(!open.should_shed(usize::MAX), "no bound, no shedding");
+    }
+
+    #[test]
+    fn failure_ladder_retries_then_fails() {
+        let a = AdmissionPolicy::new(policy(), 1, 4);
+        match a.on_failure(0) {
+            FailureDisposition::Retry { attempt, delay } => {
+                assert_eq!(attempt, 1);
+                assert_eq!(delay.as_ns_f64(), 2_000.0);
+            }
+            other => panic!("expected retry, got {other:?}"),
+        }
+        match a.on_failure(1) {
+            FailureDisposition::Retry { attempt, delay } => {
+                assert_eq!(attempt, 2);
+                assert_eq!(delay.as_ns_f64(), 4_000.0, "doubled");
+            }
+            other => panic!("expected retry, got {other:?}"),
+        }
+        assert_eq!(a.on_failure(2), FailureDisposition::Fail, "retries spent");
+    }
+
+    #[test]
+    fn deadlines_anchor_at_start() {
+        let a = AdmissionPolicy::new(policy(), 1, 4);
+        let start = SimTime::from_us(5);
+        assert_eq!(a.deadline_for(start), Some(SimTime::from_us(105)));
+        let open = AdmissionPolicy::new(
+            RecoveryPolicy {
+                deadline_us: None,
+                ..policy()
+            },
+            1,
+            4,
+        );
+        assert_eq!(open.deadline_for(start), None);
+    }
+}

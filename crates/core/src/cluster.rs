@@ -31,10 +31,11 @@ use jord_hw::{FaultInjector, InjectConfig, PartitionWindow};
 use jord_sim::{EventQueue, LatencyHistogram, Rng, SimDuration, SimTime};
 
 use crate::config::{ConfigError, RuntimeConfig};
+use crate::events::{NoticeOutcome, WorkerNotice};
 use crate::function::{FunctionId, FunctionRegistry};
 use crate::health::{DetectorConfig, PhiAccrual, WorkerHealth};
 use crate::recovery::{CrashConfig, CrashSemantics};
-use crate::server::{NoticeOutcome, WorkerNotice, WorkerServer};
+use crate::server::WorkerServer;
 use crate::stats::{FailoverStats, RunReport};
 
 /// Hedged-dispatch tuning.

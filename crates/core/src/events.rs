@@ -1,0 +1,932 @@
+//! The lifecycle event bus: one ordered stream, four subscribers.
+//!
+//! Every externally visible state change of a request is described by a
+//! [`LifecycleEvent`] and published exactly once on the [`EventBus`]. The
+//! bus fans each event out to its sinks in a fixed order:
+//!
+//! 1. `JournalSink` — appends the write-ahead journal record *first*
+//!    (append-before-effect, the crash-recovery contract),
+//! 2. `StatsSink` — updates the [`RunReport`] counters, including the
+//!    warmup-symmetry bookkeeping,
+//! 3. `NoticeSink` — emits cluster [`WorkerNotice`]s for tagged requests,
+//! 4. `TraceSink` — records the event in a bounded ring buffer and folds
+//!    it into a running order-sensitive hash.
+//!
+//! Which sinks see which event is not the sink's decision: the effect list
+//! comes from [`lifecycle::transition`](crate::lifecycle::transition), the
+//! single legality-checked place a request may change state. The server
+//! never touches the journal, the report, or the notice queue directly —
+//! those ~35 formerly scattered call sites are all subscribers now.
+
+use std::collections::VecDeque;
+
+use jord_hw::types::Va;
+use jord_hw::FaultKind;
+use jord_sim::{OnlineStats, SimDuration, SimTime};
+
+use crate::function::FunctionId;
+use crate::invocation::{Breakdown, InvocationId};
+use crate::journal::{InvocationJournal, PendingInvocation, PendingRetry};
+use crate::lifecycle::Effect;
+use crate::stats::{CrashStats, RunReport, SanitizeStats};
+
+/// Capacity of the trace-sink ring buffer: enough to hold the tail of a
+/// campaign for post-mortem assertions without growing with run length.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// Why an invocation was aborted mid-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// An injected hardware fault the PD contained.
+    Fault(FaultKind),
+    /// The invocation blew past its deadline.
+    Timeout,
+    /// A nested child failed; the parent tree unwinds.
+    ChildFailed,
+    /// An injected component crash killed it (accounted by the crash
+    /// counters, not the fault counters).
+    Crash,
+}
+
+/// How a terminal request outcome is reported to the tier above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoticeOutcome {
+    /// The request completed; `latency` is receipt → completion.
+    Completed {
+        /// End-to-end latency on the worker that served it.
+        latency: SimDuration,
+    },
+    /// The request terminally failed (retries exhausted or crash policy).
+    Failed,
+    /// The request was shed at admission.
+    Shed,
+}
+
+/// A terminal notice for a tagged request, consumed by a cluster
+/// dispatcher via [`WorkerServer::take_notices`](crate::WorkerServer::take_notices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerNotice {
+    /// The dispatcher-assigned request tag.
+    pub tag: u64,
+    /// When the outcome landed.
+    pub at: SimTime,
+    /// What happened.
+    pub outcome: NoticeOutcome,
+}
+
+/// Which policy scheduled a retry — the stats sink files the two kinds
+/// under different counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryKind {
+    /// The fault-recovery policy: a failed attempt backs off and retries
+    /// (counted in `faults.retries` when measured).
+    Backoff,
+    /// At-least-once crash recovery re-admitting interrupted work
+    /// (counted in `crash.readmitted`, never in `faults.retries`).
+    CrashReadmit,
+}
+
+/// One lifecycle transition of a request, or a request-less runtime
+/// occurrence that shares the same ordered stream.
+///
+/// Events carrying a `req` drive the per-request state machine in
+/// [`lifecycle`](crate::lifecycle); the rest (`req()` returns `None`) are
+/// stat-only and never touch a request row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifecycleEvent {
+    /// A request entered the worker's future-event list.
+    Offered {
+        /// Worker-local request id (allocated at offer, stable across
+        /// worker-local retries).
+        req: u64,
+        /// The requested function.
+        func: FunctionId,
+        /// Argument payload size.
+        bytes: u64,
+        /// Cluster tag (0 = untagged).
+        tag: u64,
+        /// Network receipt time.
+        at: SimTime,
+    },
+    /// The request was shed at admission (queue over the shed bound).
+    Shed {
+        /// The request.
+        req: u64,
+        /// The requested function.
+        func: FunctionId,
+        /// Cluster tag.
+        tag: u64,
+        /// When it was shed.
+        at: SimTime,
+        /// Inside the measurement window?
+        measured: bool,
+    },
+    /// The request entered an orchestrator's external queue.
+    Admitted {
+        /// The request.
+        req: u64,
+        /// Slab id assigned at admission.
+        id: InvocationId,
+        /// The function.
+        func: FunctionId,
+        /// Payload size.
+        bytes: u64,
+        /// Original arrival (preserved across attempts).
+        arrival: SimTime,
+        /// Dispatch attempt (0 = first).
+        attempt: u32,
+        /// Cluster tag.
+        tag: u64,
+        /// Round-robin target orchestrator.
+        orch: usize,
+    },
+    /// The orchestrator allocated and filled the request's ArgBuf.
+    ArgBufGranted {
+        /// The request.
+        req: u64,
+        /// Its slab id.
+        id: InvocationId,
+        /// ArgBuf base address.
+        va: Va,
+        /// ArgBuf length.
+        bytes: u64,
+    },
+    /// The orchestrator pushed the request into an executor queue.
+    Dispatched {
+        /// The request.
+        req: u64,
+        /// Its slab id.
+        id: InvocationId,
+        /// Target executor index.
+        executor: usize,
+    },
+    /// The executor created (or recycled) the request's protection domain.
+    PdCreated {
+        /// The request.
+        req: u64,
+        /// Its slab id.
+        id: InvocationId,
+        /// The PD id.
+        pd: u16,
+    },
+    /// The request completed.
+    Completed {
+        /// The request.
+        req: u64,
+        /// Its slab id.
+        id: InvocationId,
+        /// Cluster tag.
+        tag: u64,
+        /// Completion time.
+        at: SimTime,
+        /// Receipt → completion latency.
+        latency: SimDuration,
+        /// Inside the measurement window?
+        measured: bool,
+    },
+    /// The request terminally failed.
+    Failed {
+        /// The request.
+        req: u64,
+        /// Its slab id.
+        id: InvocationId,
+        /// Cluster tag.
+        tag: u64,
+        /// Failure time.
+        at: SimTime,
+        /// Inside the measurement window?
+        measured: bool,
+        /// Emit a [`WorkerNotice`]? Whole-worker crash recovery reports
+        /// interrupted work through the stranded-request path instead.
+        notify: bool,
+    },
+    /// The request's current attempt ended and a re-dispatch was scheduled.
+    RetryScheduled {
+        /// The request.
+        req: u64,
+        /// The slab id it held before this attempt concluded.
+        id: InvocationId,
+        /// Pending-retry token (monotonic per worker).
+        token: u64,
+        /// What will re-enter admission when the retry fires.
+        retry: PendingRetry,
+        /// Backoff retry or crash re-admission.
+        kind: RetryKind,
+        /// Counted in `faults.retries`? (Crash re-admissions never are.)
+        measured: bool,
+    },
+    /// A scheduled retry fired; the following [`Admitted`](Self::Admitted)
+    /// re-enters the request.
+    RetryFired {
+        /// The request.
+        req: u64,
+        /// The consumed token.
+        token: u64,
+    },
+    /// A scheduled retry was discarded unfired (at-most-once crash
+    /// semantics): the request terminally fails, without a notice.
+    RetryDropped {
+        /// The request.
+        req: u64,
+        /// The discarded token.
+        token: u64,
+        /// Inside the measurement window?
+        measured: bool,
+    },
+    /// The tier above withdrew the request (hedge cancellation or drain
+    /// rebalancing); the ledger forgets it was offered here.
+    Cancelled {
+        /// The request.
+        req: u64,
+        /// Its slab id, if it had been admitted ( `None` for an arrival
+        /// withdrawn straight out of the future-event list).
+        id: Option<InvocationId>,
+        /// Cluster tag.
+        tag: u64,
+    },
+
+    // --- stat-only events (no request row; `req()` returns `None`) -----
+    /// A component crashed.
+    Crashed {
+        /// [`jord_hw::CrashScope::label`] of the crashed component.
+        scope: &'static str,
+    },
+    /// An invocation was aborted mid-execution.
+    Aborted {
+        /// Why.
+        cause: AbortCause,
+        /// Inside the measurement window?
+        measured: bool,
+    },
+    /// An internal request spilled to a peer worker server.
+    Spilled,
+    /// A spurious VLB glitch fired.
+    Glitched {
+        /// Inside the measurement window?
+        measured: bool,
+    },
+    /// An invocation (external or nested) finished executing; feeds the
+    /// per-function service-time breakdowns.
+    InvocationFinished {
+        /// The function.
+        func: FunctionId,
+        /// End-to-end service time.
+        service: SimDuration,
+        /// Exec/isolation/dispatch split.
+        breakdown: Breakdown,
+        /// Inside the measurement window?
+        measured: bool,
+    },
+    /// A PD was set up for an invocation, via the sanitized pool or full
+    /// construction.
+    PdSetup {
+        /// Popped from the sanitized pool (fast path)?
+        pooled: bool,
+        /// Simulated setup latency, ns.
+        ns: f64,
+    },
+    /// A PD was sanitized back to its pristine snapshot at teardown.
+    PdSanitized {
+        /// Divergences repaired by this pass.
+        repairs: u64,
+    },
+    /// A crash killed resident invocations.
+    CrashKilled {
+        /// How many died.
+        count: u64,
+    },
+    /// Recovery replayed the journal suffix.
+    Replayed {
+        /// Records replayed past the checkpoint.
+        records: u64,
+    },
+}
+
+impl LifecycleEvent {
+    /// The request this event belongs to, or `None` for stat-only events.
+    pub fn req(&self) -> Option<u64> {
+        use LifecycleEvent::*;
+        match *self {
+            Offered { req, .. }
+            | Shed { req, .. }
+            | Admitted { req, .. }
+            | ArgBufGranted { req, .. }
+            | Dispatched { req, .. }
+            | PdCreated { req, .. }
+            | Completed { req, .. }
+            | Failed { req, .. }
+            | RetryScheduled { req, .. }
+            | RetryFired { req, .. }
+            | RetryDropped { req, .. }
+            | Cancelled { req, .. } => Some(req),
+            Crashed { .. }
+            | Aborted { .. }
+            | Spilled
+            | Glitched { .. }
+            | InvocationFinished { .. }
+            | PdSetup { .. }
+            | PdSanitized { .. }
+            | CrashKilled { .. }
+            | Replayed { .. } => None,
+        }
+    }
+
+    /// Variant name, for diagnostics.
+    pub fn name(&self) -> &'static str {
+        use LifecycleEvent::*;
+        match self {
+            Offered { .. } => "Offered",
+            Shed { .. } => "Shed",
+            Admitted { .. } => "Admitted",
+            ArgBufGranted { .. } => "ArgBufGranted",
+            Dispatched { .. } => "Dispatched",
+            PdCreated { .. } => "PdCreated",
+            Completed { .. } => "Completed",
+            Failed { .. } => "Failed",
+            RetryScheduled { .. } => "RetryScheduled",
+            RetryFired { .. } => "RetryFired",
+            RetryDropped { .. } => "RetryDropped",
+            Cancelled { .. } => "Cancelled",
+            Crashed { .. } => "Crashed",
+            Aborted { .. } => "Aborted",
+            Spilled => "Spilled",
+            Glitched { .. } => "Glitched",
+            InvocationFinished { .. } => "InvocationFinished",
+            PdSetup { .. } => "PdSetup",
+            PdSanitized { .. } => "PdSanitized",
+            CrashKilled { .. } => "CrashKilled",
+            Replayed { .. } => "Replayed",
+        }
+    }
+}
+
+/// One entry of the bounded trace ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Position of the event in the full stream (0-based; survives ring
+    /// eviction, so `seq` gaps at the front reveal how much was dropped).
+    pub seq: u64,
+    /// The event.
+    pub event: LifecycleEvent,
+}
+
+/// Sink 1: the write-ahead journal (present only on journaled runs).
+#[derive(Debug, Default)]
+struct JournalSink {
+    journal: Option<InvocationJournal>,
+    /// Records/checkpoints of journals retired by a cluster-level crash
+    /// (the fresh journal restarts at zero; totals must not).
+    retired_records: u64,
+    retired_checkpoints: u64,
+}
+
+impl JournalSink {
+    fn apply(&mut self, ev: &LifecycleEvent) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        match *ev {
+            LifecycleEvent::Shed { func, measured, .. } => j.shed(func, measured),
+            LifecycleEvent::Admitted {
+                id,
+                func,
+                bytes,
+                arrival,
+                attempt,
+                tag,
+                ..
+            } => j.admit(id, func, bytes, arrival, attempt, tag),
+            LifecycleEvent::ArgBufGranted { id, va, bytes, .. } => j.argbuf_grant(id, va, bytes),
+            LifecycleEvent::Dispatched { id, executor, .. } => j.dispatch(id, executor),
+            LifecycleEvent::PdCreated { id, pd, .. } => j.pd_create(id, pd),
+            LifecycleEvent::Completed { id, measured, .. } => j.complete(id, measured),
+            LifecycleEvent::Failed { id, measured, .. } => j.fail(id, measured),
+            LifecycleEvent::RetryScheduled {
+                id,
+                token,
+                retry,
+                measured,
+                ..
+            } => j.retry_scheduled(token, id, retry, measured),
+            LifecycleEvent::RetryFired { token, .. } => j.retry_fired(token),
+            LifecycleEvent::RetryDropped {
+                token, measured, ..
+            } => j.retry_dropped(token, measured),
+            // An arrival withdrawn before admission was never journaled.
+            LifecycleEvent::Cancelled { id: Some(id), .. } => j.cancel(id),
+            LifecycleEvent::Cancelled { id: None, .. } => {}
+            LifecycleEvent::Crashed { scope } => j.crash(scope),
+            _ => {}
+        }
+    }
+}
+
+/// Sink 2: the run report and its warmup-symmetry bookkeeping.
+#[derive(Debug, Default)]
+struct StatsSink {
+    report: RunReport,
+    crash: CrashStats,
+    sanitize: SanitizeStats,
+    /// Terminal outcomes to discard before measurement starts.
+    warmup: u64,
+    /// Unmeasured terminal outcomes seen so far.
+    warmed: u64,
+}
+
+impl StatsSink {
+    fn measuring(&self) -> bool {
+        self.warmed >= self.warmup
+    }
+
+    /// An unmeasured terminal outcome: advance the warmup window and
+    /// un-offer the request, keeping the ledger balanced.
+    fn warm(&mut self) {
+        self.warmed += 1;
+        self.report.offered -= 1;
+    }
+
+    fn apply(&mut self, ev: &LifecycleEvent) {
+        match *ev {
+            LifecycleEvent::Offered { .. } => self.report.offered += 1,
+            LifecycleEvent::Shed { measured, .. } => {
+                if measured {
+                    self.report.faults.sheds += 1;
+                } else {
+                    // Sheds never executed, so they do not advance warmup.
+                    self.report.offered -= 1;
+                }
+            }
+            LifecycleEvent::Completed {
+                latency, measured, ..
+            } => {
+                if measured {
+                    self.report.record_request(latency);
+                } else {
+                    self.warm();
+                }
+            }
+            LifecycleEvent::Failed { measured, .. }
+            | LifecycleEvent::RetryDropped { measured, .. } => {
+                if measured {
+                    self.report.faults.failed += 1;
+                } else {
+                    self.warm();
+                }
+            }
+            LifecycleEvent::RetryScheduled { kind, measured, .. } => match kind {
+                RetryKind::Backoff => {
+                    if measured {
+                        self.report.faults.retries += 1;
+                    }
+                }
+                RetryKind::CrashReadmit => self.crash.readmitted += 1,
+            },
+            LifecycleEvent::Cancelled { .. } => self.report.offered -= 1,
+            LifecycleEvent::Crashed { .. } => self.crash.crashes += 1,
+            LifecycleEvent::Aborted { cause, measured } => {
+                if measured && !matches!(cause, AbortCause::Crash) {
+                    self.report.faults.aborted += 1;
+                    match cause {
+                        AbortCause::Fault(kind) => self.report.faults.count(kind),
+                        AbortCause::Timeout => self.report.faults.timeouts += 1,
+                        AbortCause::ChildFailed | AbortCause::Crash => {}
+                    }
+                }
+            }
+            LifecycleEvent::Spilled => self.report.spilled += 1,
+            LifecycleEvent::Glitched { measured } => {
+                if measured {
+                    self.report.faults.glitches += 1;
+                }
+            }
+            LifecycleEvent::InvocationFinished {
+                func,
+                service,
+                breakdown,
+                measured,
+            } => {
+                if measured {
+                    self.report.record_invocation(func, service, breakdown);
+                }
+            }
+            LifecycleEvent::PdSetup { pooled, ns } => {
+                if pooled {
+                    self.sanitize.pooled_setups += 1;
+                    self.sanitize.pooled_setup_ns += ns;
+                } else {
+                    self.sanitize.full_setups += 1;
+                    self.sanitize.full_setup_ns += ns;
+                }
+            }
+            LifecycleEvent::PdSanitized { repairs } => {
+                self.sanitize.sanitizations += 1;
+                self.sanitize.repairs += repairs;
+            }
+            LifecycleEvent::CrashKilled { count } => self.crash.killed += count,
+            LifecycleEvent::Replayed { records } => self.crash.replayed += records,
+            LifecycleEvent::Admitted { .. }
+            | LifecycleEvent::ArgBufGranted { .. }
+            | LifecycleEvent::Dispatched { .. }
+            | LifecycleEvent::PdCreated { .. }
+            | LifecycleEvent::RetryFired { .. } => {}
+        }
+    }
+}
+
+/// Sink 3: terminal notices for the cluster dispatcher.
+#[derive(Debug, Default)]
+struct NoticeSink {
+    notices: Vec<WorkerNotice>,
+}
+
+impl NoticeSink {
+    fn apply(&mut self, ev: &LifecycleEvent) {
+        match *ev {
+            LifecycleEvent::Completed {
+                tag, at, latency, ..
+            } if tag != 0 => self.notices.push(WorkerNotice {
+                tag,
+                at,
+                outcome: NoticeOutcome::Completed { latency },
+            }),
+            LifecycleEvent::Failed {
+                tag, at, notify, ..
+            } if tag != 0 && notify => self.notices.push(WorkerNotice {
+                tag,
+                at,
+                outcome: NoticeOutcome::Failed,
+            }),
+            LifecycleEvent::Shed { tag, at, .. } if tag != 0 => self.notices.push(WorkerNotice {
+                tag,
+                at,
+                outcome: NoticeOutcome::Shed,
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Sink 4: a bounded ring buffer of recent events plus an order-sensitive
+/// hash of the *entire* stream (eviction never changes the hash).
+#[derive(Debug)]
+struct TraceSink {
+    ring: VecDeque<TraceEntry>,
+    capacity: usize,
+    count: u64,
+    hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl TraceSink {
+    fn new(capacity: usize) -> Self {
+        TraceSink {
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            count: 0,
+            hash: FNV_OFFSET,
+        }
+    }
+
+    fn apply(&mut self, ev: &LifecycleEvent) {
+        // FNV-1a over the Debug encoding: stable for identical event
+        // streams, cheap, and independent of in-memory layout.
+        use std::fmt::Write;
+        let mut buf = String::new();
+        let _ = write!(buf, "{ev:?}");
+        for &b in buf.as_bytes() {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        // Record separator so concatenation ambiguities cannot collide.
+        self.hash = (self.hash ^ 0x1e).wrapping_mul(FNV_PRIME);
+
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEntry {
+            seq: self.count,
+            event: *ev,
+        });
+        self.count += 1;
+    }
+}
+
+/// What the bus contributes to a [`WorkerCheckpoint`](crate::WorkerCheckpoint):
+/// the journal mark plus the ledger state the sinks own.
+#[derive(Debug)]
+pub struct CheckpointImage {
+    /// Journal record index replay starts from.
+    pub at_record: usize,
+    /// The report as of capture.
+    pub report: RunReport,
+    /// Warmup completions seen.
+    pub warmed: u64,
+    /// In-flight external requests.
+    pub in_flight: Vec<PendingInvocation>,
+    /// Scheduled-but-unfired retries, as `(token, retry)`.
+    pub pending: Vec<(u64, PendingRetry)>,
+}
+
+/// The ordered event stream's fan-out point. Owns the four sinks and all
+/// the mutable bookkeeping that used to live as loose `WorkerServer`
+/// fields: the journal, the report, the crash/sanitize counters, the
+/// warmup window, and the notice queue.
+#[derive(Debug)]
+pub struct EventBus {
+    journal: JournalSink,
+    stats: StatsSink,
+    notices: NoticeSink,
+    trace: TraceSink,
+}
+
+impl EventBus {
+    /// A bus over an optional journal with a trace ring of `trace_capacity`.
+    pub fn new(journal: Option<InvocationJournal>, trace_capacity: usize) -> Self {
+        EventBus {
+            journal: JournalSink {
+                journal,
+                ..JournalSink::default()
+            },
+            stats: StatsSink::default(),
+            notices: NoticeSink::default(),
+            trace: TraceSink::new(trace_capacity),
+        }
+    }
+
+    /// Publishes one event to the sinks its effect list names, in the
+    /// fixed order journal → stats → notices → trace.
+    pub fn publish(&mut self, ev: &LifecycleEvent, effects: &[Effect]) {
+        if effects.contains(&Effect::Journal) {
+            self.journal.apply(ev);
+        }
+        if effects.contains(&Effect::Stats) {
+            self.stats.apply(ev);
+        }
+        if effects.contains(&Effect::Notice) {
+            self.notices.apply(ev);
+        }
+        if effects.contains(&Effect::Trace) {
+            self.trace.apply(ev);
+        }
+    }
+
+    // --- measurement window -------------------------------------------
+
+    /// Sets the number of terminal outcomes to discard before measuring.
+    pub fn set_warmup(&mut self, warmup: u64) {
+        self.stats.warmup = warmup;
+    }
+
+    /// True once the warmup window has been consumed.
+    pub fn measuring(&self) -> bool {
+        self.stats.measuring()
+    }
+
+    // --- notices -------------------------------------------------------
+
+    /// Drains the accumulated terminal notices.
+    pub fn take_notices(&mut self) -> Vec<WorkerNotice> {
+        std::mem::take(&mut self.notices.notices)
+    }
+
+    // --- journal -------------------------------------------------------
+
+    /// True when this run journals (crash config present).
+    pub fn journaling(&self) -> bool {
+        self.journal.journal.is_some()
+    }
+
+    /// Read-only journal access, for replay and the recovery proofs.
+    pub fn journal(&self) -> Option<&InvocationJournal> {
+        self.journal.journal.as_ref()
+    }
+
+    /// True when `every` records accumulated since the last checkpoint.
+    pub fn due_checkpoint(&self, every: usize) -> bool {
+        self.journal
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.due_checkpoint(every))
+    }
+
+    /// Marks a checkpoint in the journal and snapshots the sink-owned
+    /// ledger state; `None` when not journaling.
+    pub fn checkpoint_image(&mut self) -> Option<CheckpointImage> {
+        let j = self.journal.journal.as_mut()?;
+        let at_record = j.mark_checkpoint();
+        Some(CheckpointImage {
+            at_record,
+            report: self.stats.report.clone(),
+            warmed: self.stats.warmed,
+            in_flight: j.in_flight().values().copied().collect(),
+            pending: j.pending().iter().map(|(&t, &p)| (t, p)).collect(),
+        })
+    }
+
+    /// Retires the current journal (its totals fold into the final
+    /// report) and starts a fresh one — a cluster-level worker crash
+    /// replaces the process wholesale.
+    pub fn retire_journal(&mut self) {
+        if let Some(j) = self.journal.journal.take() {
+            self.journal.retired_records += j.len() as u64;
+            self.journal.retired_checkpoints += j.checkpoints();
+        }
+        self.journal.journal = Some(InvocationJournal::new());
+    }
+
+    // --- crash restore -------------------------------------------------
+
+    /// Replaces the ledger with replay's reconstruction (whole-worker
+    /// crash: the in-memory report died with the process).
+    pub fn restore(&mut self, report: RunReport, warmed: u64) {
+        self.stats.report = report;
+        self.stats.warmed = warmed;
+    }
+
+    /// Like [`restore`](Self::restore), but re-bases `offered` onto the
+    /// settled outcomes only: a cluster crash strands all unfinished work
+    /// to the dispatcher, so nothing unfinished stays on this worker's
+    /// books.
+    pub fn restore_rebased(&mut self, report: RunReport, warmed: u64) {
+        let mut report = report;
+        report.offered = report.completed + report.faults.failed + report.faults.sheds;
+        self.restore(report, warmed);
+    }
+
+    // --- trace ---------------------------------------------------------
+
+    /// Order-sensitive FNV-1a hash of every event published so far.
+    pub fn trace_hash(&self) -> u64 {
+        self.trace.hash
+    }
+
+    /// Total events published so far (not bounded by the ring).
+    pub fn trace_len(&self) -> u64 {
+        self.trace.count
+    }
+
+    /// Drains the trace ring: the most recent `TRACE_CAPACITY` events.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.ring.drain(..).collect()
+    }
+
+    // --- seal ----------------------------------------------------------
+
+    /// Finalizes the run: folds the crash/sanitize counters and journal
+    /// totals into the report and returns it, leaving the sinks empty.
+    pub fn seal<'a>(
+        &mut self,
+        finished_at: SimTime,
+        shootdown_ns: OnlineStats,
+        dispatch: impl Iterator<Item = &'a OnlineStats>,
+    ) -> RunReport {
+        debug_assert!(
+            self.stats.report.balanced(),
+            "ledger must balance: every request completes, fails, or sheds \
+             (offered {} != completed {} + failed {} + sheds {})",
+            self.stats.report.offered,
+            self.stats.report.completed,
+            self.stats.report.faults.failed,
+            self.stats.report.faults.sheds,
+        );
+        let mut report = std::mem::take(&mut self.stats.report);
+        for d in dispatch {
+            report.dispatch_ns.merge(d);
+        }
+        report.shootdown_ns = shootdown_ns;
+        report.crash = self.stats.crash;
+        if let Some(j) = &self.journal.journal {
+            report.crash.journal_records = j.len() as u64 + self.journal.retired_records;
+            report.crash.checkpoints = j.checkpoints() + self.journal.retired_checkpoints;
+        }
+        report.sanitize = self.stats.sanitize;
+        report.finished_at = finished_at;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::transition;
+
+    fn offered(req: u64) -> LifecycleEvent {
+        LifecycleEvent::Offered {
+            req,
+            func: FunctionId(0),
+            bytes: 64,
+            tag: 0,
+            at: SimTime::ZERO,
+        }
+    }
+
+    fn publish(
+        bus: &mut EventBus,
+        state: Option<crate::lifecycle::InvocationState>,
+        ev: LifecycleEvent,
+    ) {
+        let (_, effects) = transition(state, &ev).expect("legal transition");
+        bus.publish(&ev, &effects);
+    }
+
+    #[test]
+    fn offered_counts_and_traces() {
+        let mut bus = EventBus::new(None, 8);
+        publish(&mut bus, None, offered(1));
+        publish(&mut bus, None, offered(2));
+        assert_eq!(bus.trace_len(), 2);
+        let trace = bus.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].seq, 0);
+        assert_eq!(trace[1].event.req(), Some(2));
+    }
+
+    #[test]
+    fn trace_hash_is_order_sensitive_and_eviction_proof() {
+        let mut a = EventBus::new(None, 2);
+        let mut b = EventBus::new(None, 2);
+        for req in 1..=10 {
+            publish(&mut a, None, offered(req));
+            publish(&mut b, None, offered(11 - req));
+        }
+        assert_eq!(a.trace_len(), b.trace_len());
+        assert_ne!(a.trace_hash(), b.trace_hash(), "order must matter");
+        assert_eq!(a.take_trace().len(), 2, "ring bounded at capacity");
+
+        // Same stream, different capacities: identical hash.
+        let mut c = EventBus::new(None, 1024);
+        for req in 1..=10 {
+            publish(&mut c, None, offered(req));
+        }
+        assert_eq!(c.trace_hash(), a.trace_hash());
+    }
+
+    #[test]
+    fn warmup_symmetry_in_the_stats_sink() {
+        let mut bus = EventBus::new(None, 8);
+        bus.set_warmup(1);
+        assert!(!bus.measuring());
+        publish(&mut bus, None, offered(1));
+        // Unmeasured terminal: warms the window and un-offers.
+        let ev = LifecycleEvent::Completed {
+            req: 1,
+            id: InvocationId(0),
+            tag: 0,
+            at: SimTime::ZERO,
+            latency: SimDuration::from_ns(100),
+            measured: bus.measuring(),
+        };
+        let (_, fx) = transition(Some(crate::lifecycle::InvocationState::InFlight), &ev).unwrap();
+        bus.publish(&ev, &fx);
+        assert!(bus.measuring(), "one unmeasured terminal consumed warmup");
+        assert_eq!(bus.stats.report.offered, 0, "warmup un-offers");
+        assert_eq!(bus.stats.report.completed, 0);
+    }
+
+    #[test]
+    fn notices_only_for_tagged_requests() {
+        let mut bus = EventBus::new(None, 8);
+        let fx = [Effect::Stats, Effect::Notice, Effect::Trace];
+        bus.publish(
+            &LifecycleEvent::Shed {
+                req: 1,
+                func: FunctionId(0),
+                tag: 0,
+                at: SimTime::ZERO,
+                measured: true,
+            },
+            &fx,
+        );
+        bus.publish(
+            &LifecycleEvent::Shed {
+                req: 2,
+                func: FunctionId(0),
+                tag: 9,
+                at: SimTime::ZERO,
+                measured: true,
+            },
+            &fx,
+        );
+        let notices = bus.take_notices();
+        assert_eq!(notices.len(), 1, "untagged sheds emit no notice");
+        assert_eq!(notices[0].tag, 9);
+        assert_eq!(notices[0].outcome, NoticeOutcome::Shed);
+    }
+
+    #[test]
+    fn retired_journal_totals_fold_into_seal() {
+        let mut bus = EventBus::new(Some(InvocationJournal::new()), 8);
+        assert!(bus.journaling());
+        let img = bus.checkpoint_image().expect("journaled");
+        assert_eq!(img.at_record, 1, "the checkpoint mark is record 0");
+        bus.retire_journal();
+        let img2 = bus.checkpoint_image().expect("fresh journal");
+        assert_eq!(img2.at_record, 1, "fresh journal restarts at zero");
+        let report = bus.seal(SimTime::ZERO, OnlineStats::new(), std::iter::empty());
+        // 1 retired record (the first checkpoint mark) + 1 in the fresh
+        // journal; 2 checkpoints total.
+        assert_eq!(report.crash.journal_records, 2);
+        assert_eq!(report.crash.checkpoints, 2);
+    }
+}

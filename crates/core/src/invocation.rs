@@ -119,6 +119,10 @@ pub struct Invocation {
     /// notices with the request copies it routed, whatever worker-local
     /// retries happened in between.
     pub tag: u64,
+    /// Lifecycle-engine request id (0 = none; internal invocations are
+    /// not tracked as requests). Stable across worker-local retries —
+    /// the key into the engine's request table.
+    pub req: u64,
     /// Absolute execution deadline (set at start when the recovery policy
     /// has one); blowing past it aborts the invocation.
     pub deadline: Option<SimTime>,
@@ -161,6 +165,7 @@ impl Invocation {
             plan: InjectionPlan::CLEAN,
             attempt: 0,
             tag: 0,
+            req: 0,
             deadline: None,
             child_failed: false,
             enqueued_at: now,

@@ -248,7 +248,6 @@ pub struct InvocationJournal {
     records: Vec<JournalRecord>,
     in_flight: BTreeMap<usize, PendingInvocation>,
     pending: BTreeMap<u64, PendingRetry>,
-    next_token: u64,
     since_checkpoint: usize,
     checkpoints: u64,
 }
@@ -384,16 +383,16 @@ impl InvocationJournal {
     }
 
     /// The request's current attempt ended and a re-dispatch was
-    /// scheduled; returns the token the matching [`Self::retry_fired`]
-    /// must consume.
+    /// scheduled under `token` (allocated by the caller's lifecycle
+    /// engine — tokens stay monotonic even when a cluster crash replaces
+    /// the journal); the matching [`Self::retry_fired`] consumes it.
     pub fn retry_scheduled(
         &mut self,
+        token: u64,
         id: InvocationId,
         retry: PendingRetry,
         measured: bool,
-    ) -> u64 {
-        let token = self.next_token;
-        self.next_token += 1;
+    ) {
         self.push(JournalRecord::RetryScheduled {
             token,
             id,
@@ -407,8 +406,8 @@ impl InvocationJournal {
         });
         let removed = self.in_flight.remove(&id.0);
         debug_assert!(removed.is_some(), "retried request {id:?} not in flight");
-        self.pending.insert(token, retry);
-        token
+        let clashed = self.pending.insert(token, retry);
+        debug_assert!(clashed.is_none(), "retry token {token} reused");
     }
 
     /// A scheduled retry fired (its `Admit` follows immediately).
@@ -625,7 +624,9 @@ mod tests {
         j.shed(f, true);
         j.admit(id(2), f, 64, SimTime::from_us(2), 0, 0);
         j.dispatch(id(2), 5);
-        let tok = j.retry_scheduled(
+        let tok = 0;
+        j.retry_scheduled(
+            tok,
             id(2),
             retry(f, SimTime::from_us(2), 1, SimTime::from_us(9)),
             true,
@@ -693,22 +694,25 @@ mod tests {
     }
 
     #[test]
-    fn retry_tokens_are_monotonic_and_fire_once() {
+    fn retry_tokens_are_caller_allocated_and_fire_once() {
         let mut j = InvocationJournal::new();
         let f = FunctionId(0);
         j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
-        let t0 = j.retry_scheduled(
+        let t0 = 0;
+        j.retry_scheduled(
+            t0,
             id(0),
             retry(f, SimTime::ZERO, 1, SimTime::from_us(1)),
             false,
         );
         j.admit(id(1), f, 64, SimTime::ZERO, 0, 0);
-        let t1 = j.retry_scheduled(
+        let t1 = 1;
+        j.retry_scheduled(
+            t1,
             id(1),
             retry(f, SimTime::ZERO, 1, SimTime::from_us(2)),
             false,
         );
-        assert!(t1 > t0);
         assert_eq!(j.pending().len(), 2);
         j.retry_fired(t0);
         j.admit(id(0), f, 64, SimTime::ZERO, 1, 0);
@@ -725,9 +729,17 @@ mod tests {
         report.offered = 2;
         let cp = ckpt(&j, report, 0);
         j.admit(id(0), f, 64, SimTime::ZERO, 0, 0);
-        let t0 = j.retry_scheduled(id(0), retry(f, SimTime::ZERO, 1, SimTime::from_us(5)), true);
+        let t0 = 0;
+        j.retry_scheduled(
+            t0,
+            id(0),
+            retry(f, SimTime::ZERO, 1, SimTime::from_us(5)),
+            true,
+        );
         j.admit(id(1), f, 64, SimTime::ZERO, 0, 0);
-        let t1 = j.retry_scheduled(
+        let t1 = 1;
+        j.retry_scheduled(
+            t1,
             id(1),
             retry(f, SimTime::ZERO, 1, SimTime::from_us(5)),
             false,
@@ -791,7 +803,9 @@ mod tests {
         let f = FunctionId(0);
         let cp = ckpt(&j, RunReport::new(), 0);
         j.admit(id(0), f, 64, SimTime::ZERO, 0, 9);
-        let tok = j.retry_scheduled(
+        let tok = 5; // caller-allocated: need not start at zero
+        j.retry_scheduled(
+            tok,
             id(0),
             PendingRetry {
                 tag: 9,

@@ -42,25 +42,33 @@
 //! assert_eq!(report.completed, 1);
 //! ```
 
+pub mod admission;
 pub mod argbuf;
 pub mod cluster;
 pub mod config;
+pub mod events;
 pub mod executor;
 pub mod function;
 pub mod health;
 pub mod invocation;
 pub mod journal;
+pub mod lifecycle;
 pub mod orchestrator;
 pub mod recovery;
 pub mod server;
 pub mod stats;
 
+pub use admission::{AdmissionPolicy, FailureDisposition};
 pub use argbuf::ArgBuf;
 pub use cluster::{
     ClusterConfig, ClusterDispatcher, ClusterReport, DrainPlan, HedgeConfig, PartitionPlan,
     WorkerKill,
 };
 pub use config::{ConfigError, RecoveryPolicy, RuntimeConfig, SpillConfig, SystemVariant};
+pub use events::{
+    AbortCause, EventBus, LifecycleEvent, NoticeOutcome, RetryKind, TraceEntry, WorkerNotice,
+    TRACE_CAPACITY,
+};
 pub use executor::Executor;
 pub use function::{FuncOp, FunctionId, FunctionRegistry, FunctionSpec};
 pub use health::{DetectorConfig, PhiAccrual, WorkerHealth};
@@ -69,9 +77,12 @@ pub use journal::{
     InvocationJournal, JournalRecord, PendingInvocation, PendingRetry, RecoveredState,
     WorkerCheckpoint,
 };
+pub use lifecycle::{
+    transition, Effect, InvocationState, LifecycleEngine, LifecycleError, RequestRow,
+};
 pub use orchestrator::Orchestrator;
 pub use recovery::{CrashConfig, CrashSemantics};
-pub use server::{NoticeOutcome, StrandedRequest, WorkerNotice, WorkerServer};
+pub use server::{StrandedRequest, WorkerServer};
 pub use stats::{
     CrashStats, FailoverStats, FaultStats, FunctionBreakdown, RunReport, SanitizeStats,
 };

@@ -5,6 +5,13 @@
 //! component crashes — an executor, an orchestrator, or the entire worker
 //! server dying at a chosen simulated instant — and how the runtime's
 //! write-ahead journal brings the survivor back ([`crate::journal`]).
+//!
+//! The crash/recovery paths themselves live in the server's lifecycle
+//! engine: a crash is published on the event bus like any other
+//! [`crate::events::LifecycleEvent`], recovery replays the journal sink's
+//! suffix against the typed request table ([`crate::lifecycle`]), and the
+//! chosen [`CrashSemantics`] decides whether each interrupted request is
+//! re-admitted (a `RetryScheduled` event) or terminally failed.
 
 use jord_hw::{CrashPlan, CrashScope};
 

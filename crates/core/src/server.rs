@@ -2,28 +2,34 @@
 //! executors, PrivLib, and the hardware model together (Figures 3 & 4).
 
 use jord_hw::types::{CoreId, PdId, Perm, Va};
-use jord_hw::{
-    CrashPlan, CrashScope, Csr, Fault, FaultInjector, FaultKind, InjectionPlan, Machine,
-};
+use jord_hw::{CrashPlan, Csr, Fault, FaultInjector, FaultKind, InjectionPlan, Machine};
 use jord_privlib::{os, PrivError, PrivLib};
 use jord_sim::{EventQueue, Rng, SimDuration, SimTime};
 use jord_vma::PdSnapshot;
 
+use crate::admission::{AdmissionPolicy, FailureDisposition};
 use crate::argbuf::ArgBuf;
 use crate::config::{ConfigError, RuntimeConfig};
+use crate::events::{
+    AbortCause, EventBus, LifecycleEvent, RetryKind, TraceEntry, WorkerNotice, TRACE_CAPACITY,
+};
 use crate::executor::Executor;
 use crate::function::{FuncOp, FunctionId, FunctionRegistry};
 use crate::invocation::{Invocation, InvocationId, InvocationSlab, Origin, Phase};
 use crate::journal::{InvocationJournal, PendingRetry, WorkerCheckpoint};
+use crate::lifecycle::LifecycleEngine;
 use crate::orchestrator::Orchestrator;
-use crate::recovery::CrashSemantics;
-use crate::stats::{CrashStats, RunReport, SanitizeStats};
+use crate::stats::RunReport;
+
+mod crash;
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// An external request arrives from the network.
     Arrival {
+        /// The lifecycle-engine request id minted at [`WorkerServer::push_tagged_request`].
+        req: u64,
         func: FunctionId,
         bytes: u64,
         /// Cluster request tag (0 = untagged / single-worker mode).
@@ -38,6 +44,8 @@ enum Event {
     /// A failed external request is re-dispatched after backoff, keeping
     /// its original arrival time so measured latency stays honest.
     Retry {
+        /// The lifecycle-engine request id (stable across retries).
+        req: u64,
         /// The function to re-dispatch.
         func: FunctionId,
         /// Argument payload size.
@@ -46,40 +54,11 @@ enum Event {
         arrival: SimTime,
         /// Which attempt this dispatch is (first retry = 1).
         attempt: u32,
-        /// The pending-retry token the journal tracks it under (0 when
-        /// journaling is off).
+        /// The pending-retry token the lifecycle engine minted for it.
         token: u64,
         /// Cluster request tag (0 = untagged).
         tag: u64,
     },
-}
-
-/// What a tagged external request's terminal event on this worker was.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum NoticeOutcome {
-    /// The request completed; `latency` is receipt-to-completion on this
-    /// worker (a cluster dispatcher re-anchors at the cluster arrival).
-    Completed {
-        /// Orchestrator receipt → completion notice.
-        latency: SimDuration,
-    },
-    /// The request terminally failed here (local retries exhausted).
-    Failed,
-    /// The request was shed at admission.
-    Shed,
-}
-
-/// A terminal event for a cluster-tagged request, surfaced to the tier
-/// above the worker. Only requests pushed with a non-zero tag (via
-/// [`WorkerServer::push_tagged_request`]) produce notices.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct WorkerNotice {
-    /// The cluster request tag.
-    pub tag: u64,
-    /// When the terminal event happened.
-    pub at: SimTime,
-    /// What happened.
-    pub outcome: NoticeOutcome,
 }
 
 /// A request stranded on a worker the cluster declared dead: recovered
@@ -95,20 +74,6 @@ pub struct StrandedRequest {
     pub bytes: u64,
     /// Original arrival time (latency anchors survive failover).
     pub arrival: SimTime,
-}
-
-/// Why an invocation is being aborted.
-#[derive(Debug, Clone, Copy)]
-enum AbortCause {
-    /// The protection machinery raised a hardware fault.
-    Fault(FaultKind),
-    /// The invocation blew its execution deadline.
-    Timeout,
-    /// A nested call failed; the parent cannot make progress.
-    ChildFailed,
-    /// The component hosting the invocation crashed; conclusion follows
-    /// the crash-semantics knob, not the fault-retry policy.
-    Crash,
 }
 
 /// Base of the runtime's shared-memory region (queue lines, inbox lines).
@@ -145,36 +110,21 @@ pub struct WorkerServer {
     /// Deterministic misbehavior planner (its own forked RNG stream, so
     /// fault schedules do not perturb workload sampling).
     injector: Option<FaultInjector>,
-    report: RunReport,
-    /// Admission window: max in-flight external requests per orchestrator.
-    admission: usize,
-    rr_orch: usize,
-    /// External completions to discard before measuring (cache warm-up).
-    warmup: u64,
-    warmed: u64,
-    /// Write-ahead invocation journal (active iff `cfg.crash` is set).
-    journal: Option<InvocationJournal>,
+    /// Admission/retry policy: routing, shedding, deadlines, backoff.
+    admission: AdmissionPolicy,
+    /// The per-request state machine: the only authority on whether a
+    /// request may change state, and the table every cluster hook reads.
+    lifecycle: LifecycleEngine,
+    /// The ordered event stream and its sinks: journal, stats, notices,
+    /// trace. All bookkeeping mutation happens inside the bus.
+    bus: EventBus,
     /// Latest checkpoint (recovery restores from here).
     checkpoint: Option<WorkerCheckpoint>,
     /// The injected crash that has not fired yet.
     crash_pending: Option<CrashPlan>,
-    /// Crash/recovery counters (kept outside `report` so a worker-crash
-    /// restore, which replaces the report, cannot lose them).
-    crash_stats: CrashStats,
-    /// PD-sanitization counters (same survival rationale).
-    sanitize_stats: SanitizeStats,
     /// Per-function pools of sanitized PDs: `(pd, stackheap, snapshot)`
     /// triples whose code grant and stack/heap mapping are still intact.
     pd_pools: Vec<Vec<(PdId, Va, PdSnapshot)>>,
-    /// Terminal events for cluster-tagged requests since the last
-    /// [`take_notices`](Self::take_notices) drain.
-    notices: Vec<WorkerNotice>,
-    /// Journal records retired with pre-failover journal generations
-    /// (cluster crashes hand stranded work away and restart the journal;
-    /// the totals reported at seal still cover the whole run).
-    retired_journal_records: u64,
-    /// Checkpoints retired the same way.
-    retired_checkpoints: u64,
 }
 
 /// Everything a pristine process image contains: the booted machine and
@@ -202,7 +152,7 @@ impl WorkerServer {
             return Err(ConfigError::NoFunctions);
         }
         let parts = Self::boot_parts(&cfg, &registry)?;
-        let admission = (8 * cfg.executors() / cfg.orchestrators).max(16);
+        let admission = AdmissionPolicy::new(cfg.recovery, cfg.orchestrators, cfg.executors());
         let seed = cfg.seed;
         let mut rng = Rng::new(seed);
         // The injector gets its own stream: the same seed yields the same
@@ -210,7 +160,7 @@ impl WorkerServer {
         let injector = cfg
             .inject
             .map(|ic| FaultInjector::new(ic, rng.fork(0xFA_17)));
-        let journal = cfg.crash.map(|_| InvocationJournal::new());
+        let bus = EventBus::new(cfg.crash.map(|_| InvocationJournal::new()), TRACE_CAPACITY);
         let crash_pending = cfg.crash.and_then(|c| c.plan);
         let pd_pools = (0..registry.len()).map(|_| Vec::new()).collect();
         Ok(WorkerServer {
@@ -226,20 +176,12 @@ impl WorkerServer {
             queue: EventQueue::new(),
             rng,
             injector,
-            report: RunReport::new(),
             admission,
-            rr_orch: 0,
-            warmup: 0,
-            warmed: 0,
-            journal,
+            lifecycle: LifecycleEngine::new(),
+            bus,
             checkpoint: None,
             crash_pending,
-            crash_stats: CrashStats::default(),
-            sanitize_stats: SanitizeStats::default(),
             pd_pools,
-            notices: Vec::new(),
-            retired_journal_records: 0,
-            retired_checkpoints: 0,
         })
     }
 
@@ -320,11 +262,23 @@ impl WorkerServer {
     /// invocation records of everything finishing before them) from the
     /// measurement, so cold-cache effects do not pollute tail latencies.
     pub fn set_warmup(&mut self, n: u64) {
-        self.warmup = n;
+        self.bus.set_warmup(n);
     }
 
     fn measuring(&self) -> bool {
-        self.warmed >= self.warmup
+        self.bus.measuring()
+    }
+
+    /// Routes a lifecycle event through the engine (the single legality
+    /// authority) and publishes it on the bus, which fans the resulting
+    /// effects out to the journal, stats, notice, and trace sinks — the
+    /// only place in the server where bookkeeping state changes.
+    fn emit(&mut self, ev: LifecycleEvent) {
+        let effects = self
+            .lifecycle
+            .apply(&ev)
+            .unwrap_or_else(|e| panic!("illegal lifecycle transition: {e} ({ev:?})"));
+        self.bus.publish(&ev, &effects);
     }
 
     /// Schedules an external request for `func` carrying `bytes` of
@@ -339,8 +293,23 @@ impl WorkerServer {
     /// requests mid-run (between [`step`](Self::step)s), as long as `time`
     /// is not in this worker's past.
     pub fn push_tagged_request(&mut self, time: SimTime, func: FunctionId, bytes: u64, tag: u64) {
-        self.report.offered += 1;
-        self.queue.push(time, Event::Arrival { func, bytes, tag });
+        let req = self.lifecycle.alloc_req();
+        self.emit(LifecycleEvent::Offered {
+            req,
+            func,
+            bytes,
+            tag,
+            at: time,
+        });
+        self.queue.push(
+            time,
+            Event::Arrival {
+                req,
+                func,
+                bytes,
+                tag,
+            },
+        );
     }
 
     /// Runs the simulation to completion (all injected requests finished)
@@ -356,7 +325,7 @@ impl WorkerServer {
     /// [`run`](Self::run) calls this itself; a cluster dispatcher driving
     /// the worker via [`step`](Self::step) calls it once up front.
     pub fn begin(&mut self) {
-        if self.journal.is_some() && self.checkpoint.is_none() {
+        if self.bus.journaling() && self.checkpoint.is_none() {
             self.take_checkpoint(self.queue.now());
         }
     }
@@ -386,11 +355,17 @@ impl WorkerServer {
             return false;
         };
         match ev {
-            Event::Arrival { func, bytes, tag } => self.on_arrival(t, func, bytes, tag),
+            Event::Arrival {
+                req,
+                func,
+                bytes,
+                tag,
+            } => self.on_arrival(t, req, func, bytes, tag),
             Event::OrchWake(i) => self.on_orch_wake(t, i),
             Event::ExecWake(e) => self.on_exec_wake(t, e),
             Event::RemoteComplete(id) => self.on_remote_complete(t, id),
             Event::Retry {
+                req,
                 func,
                 bytes,
                 arrival,
@@ -398,10 +373,8 @@ impl WorkerServer {
                 token,
                 tag,
             } => {
-                if let Some(j) = self.journal.as_mut() {
-                    j.retry_fired(token);
-                }
-                self.admit(t, func, bytes, arrival, attempt, tag);
+                self.emit(LifecycleEvent::RetryFired { req, token });
+                self.admit(t, req, func, bytes, arrival, attempt, tag);
             }
         }
         self.maybe_checkpoint(t);
@@ -414,30 +387,49 @@ impl WorkerServer {
         // Return pooled sanitized PDs before the leak accounting below.
         self.drain_pd_pools();
         debug_assert!(self.slab.is_empty(), "all invocations must complete");
-        debug_assert_eq!(
-            self.report.offered,
-            self.report.completed + self.report.faults.failed + self.report.faults.sheds,
-            "every request must end Completed, Faulted, or Shed — none lost"
+        debug_assert!(
+            self.lifecycle.is_empty(),
+            "every request row must reach a terminal state — none lost"
         );
-        let mut report = std::mem::take(&mut self.report);
-        for o in &self.orchs {
-            report.dispatch_ns.merge(&o.dispatch_ns);
-        }
-        report.shootdown_ns = self.machine.stats().shootdown_ns;
-        report.crash = self.crash_stats;
-        if let Some(j) = &self.journal {
-            report.crash.journal_records = j.len() as u64 + self.retired_journal_records;
-            report.crash.checkpoints = j.checkpoints() + self.retired_checkpoints;
-        }
-        report.sanitize = self.sanitize_stats;
-        report.finished_at = self.queue.now();
-        report
+        let finished_at = self.queue.now();
+        let shootdown_ns = self.machine.stats().shootdown_ns;
+        self.bus.seal(
+            finished_at,
+            shootdown_ns,
+            self.orchs.iter().map(|o| &o.dispatch_ns),
+        )
     }
 
     /// Drains the terminal notices accumulated for cluster-tagged
     /// requests since the last call.
     pub fn take_notices(&mut self) -> Vec<WorkerNotice> {
-        std::mem::take(&mut self.notices)
+        self.bus.take_notices()
+    }
+
+    /// FNV-1a hash over the whole lifecycle-event stream so far. Two runs
+    /// with the same seed and inputs produce the same hash, whatever mix
+    /// of [`run`](Self::run) and [`step`](Self::step) drove them — the
+    /// golden-trace equivalence tests key on this.
+    pub fn trace_hash(&self) -> u64 {
+        self.bus.trace_hash()
+    }
+
+    /// Number of lifecycle events published so far (the ring may hold
+    /// fewer — it keeps the most recent [`TRACE_CAPACITY`]).
+    pub fn trace_len(&self) -> u64 {
+        self.bus.trace_len()
+    }
+
+    /// Drains the buffered tail of the lifecycle-event trace (the ring
+    /// keeps the most recent [`TRACE_CAPACITY`] events).
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.bus.take_trace()
+    }
+
+    /// Request rows still live in the lifecycle engine (0 after a drained
+    /// run).
+    pub fn live_requests(&self) -> usize {
+        self.lifecycle.len()
     }
 
     /// The simulated machine (post-run hardware counters).
@@ -487,45 +479,36 @@ impl WorkerServer {
     // Orchestrator side (§3.3)
     // ------------------------------------------------------------------
 
-    fn on_arrival(&mut self, t: SimTime, func: FunctionId, bytes: u64, tag: u64) {
-        self.admit(t, func, bytes, t, 0, tag);
+    fn on_arrival(&mut self, t: SimTime, req: u64, func: FunctionId, bytes: u64, tag: u64) {
+        self.admit(t, req, func, bytes, t, 0, tag);
     }
 
     /// Admission control + enqueue for external requests (fresh arrivals
     /// and backoff retries alike). When the target orchestrator's external
     /// queue exceeds the shed bound, the request is dropped at the door —
     /// graceful degradation instead of unbounded queueing collapse.
+    #[allow(clippy::too_many_arguments)]
     fn admit(
         &mut self,
         t: SimTime,
+        req: u64,
         func: FunctionId,
         bytes: u64,
         arrival: SimTime,
         attempt: u32,
         tag: u64,
     ) {
-        let orch = self.rr_orch;
-        self.rr_orch = (self.rr_orch + 1) % self.orchs.len();
-        if let Some(bound) = self.cfg.recovery.shed_bound {
-            if self.orchs[orch].external.len() >= bound {
-                let measured = self.measuring();
-                if let Some(j) = self.journal.as_mut() {
-                    j.shed(func, measured);
-                }
-                if measured {
-                    self.report.faults.sheds += 1;
-                } else {
-                    self.report.offered -= 1;
-                }
-                if tag != 0 {
-                    self.notices.push(WorkerNotice {
-                        tag,
-                        at: t,
-                        outcome: NoticeOutcome::Shed,
-                    });
-                }
-                return;
-            }
+        let orch = self.admission.route();
+        if self.admission.should_shed(self.orchs[orch].external.len()) {
+            let measured = self.measuring();
+            self.emit(LifecycleEvent::Shed {
+                req,
+                func,
+                tag,
+                at: t,
+                measured,
+            });
+            return;
         }
         let mut inv = Invocation::new(
             func,
@@ -535,17 +518,26 @@ impl WorkerServer {
         );
         inv.attempt = attempt;
         inv.tag = tag;
+        inv.req = req;
         let id = self.slab.insert(inv);
-        if let Some(j) = self.journal.as_mut() {
-            j.admit(id, func, bytes, arrival, attempt, tag);
-        }
+        self.emit(LifecycleEvent::Admitted {
+            req,
+            id,
+            func,
+            bytes,
+            arrival,
+            attempt,
+            tag,
+            orch,
+        });
         self.orchs[orch].external.push_back(id);
         self.wake_orch(orch, t);
     }
 
     fn on_orch_wake(&mut self, t: SimTime, i: usize) {
         self.orchs[i].scheduled = false;
-        let Some((inv_id, is_internal)) = self.orchs[i].next_request(self.admission) else {
+        let Some((inv_id, is_internal)) = self.orchs[i].next_request(self.admission.window())
+        else {
             return;
         };
         let core = self.orchs[i].core;
@@ -566,9 +558,13 @@ impl WorkerServer {
             cost += c;
             cost += self.machine.write(core, va, bytes);
             self.slab.get_mut(inv_id).argbuf = ArgBuf::new(va, bytes);
-            if let Some(j) = self.journal.as_mut() {
-                j.argbuf_grant(inv_id, va, bytes);
-            }
+            let req = self.slab.get(inv_id).req;
+            self.emit(LifecycleEvent::ArgBufGranted {
+                req,
+                id: inv_id,
+                va,
+                bytes,
+            });
         }
 
         // JBSQ: read every managed executor's queue depth, pick the
@@ -617,7 +613,7 @@ impl WorkerServer {
                     let done = t
                         + cost
                         + SimDuration::from_ns_f64(spill.network_rtt_us * 1_000.0 + remote);
-                    self.report.spilled += 1;
+                    self.emit(LifecycleEvent::Spilled);
                     self.orchs[i].next_free = t + cost;
                     self.queue.push(done, Event::RemoteComplete(inv_id));
                     if self.orchs[i].has_work() {
@@ -649,9 +645,12 @@ impl WorkerServer {
                 }
                 if !is_internal {
                     self.orchs[i].in_flight += 1;
-                    if let Some(j) = self.journal.as_mut() {
-                        j.dispatch(inv_id, e);
-                    }
+                    let req = self.slab.get(inv_id).req;
+                    self.emit(LifecycleEvent::Dispatched {
+                        req,
+                        id: inv_id,
+                        executor: e,
+                    });
                 }
                 self.orchs[i].dispatch_ns.record(cost.as_ns_f64());
                 self.orchs[i].next_free = done;
@@ -708,14 +707,11 @@ impl WorkerServer {
             Some(inj) => inj.plan(ops_len),
             None => InjectionPlan::CLEAN,
         };
+        let deadline = self.admission.deadline_for(t);
         {
             let inv = self.slab.get_mut(id);
             inv.plan = plan;
-            inv.deadline = self
-                .cfg
-                .recovery
-                .deadline_us
-                .map(|us| t + SimDuration::from_ns_f64(us * 1_000.0));
+            inv.deadline = deadline;
         }
         let spec_stack = self.registry.spec(func).stack() + self.registry.spec(func).heap();
         let code_va = self.code_vmas[func.0 as usize];
@@ -754,8 +750,10 @@ impl WorkerServer {
                 iso += self.translate_access(core, pd, stackheap, Perm::RW);
                 iso += self.translate_access(core, pd, argbuf.va(), Perm::RW);
                 self.slab.get_mut(id).pd_snapshot = Some(snapshot);
-                self.sanitize_stats.pooled_setups += 1;
-                self.sanitize_stats.pooled_setup_ns += (exec + iso).as_ns_f64();
+                self.emit(LifecycleEvent::PdSetup {
+                    pooled: true,
+                    ns: (exec + iso).as_ns_f64(),
+                });
                 (pd, stackheap)
             }
             None => {
@@ -820,16 +818,17 @@ impl WorkerServer {
                 iso += self.translate_access(core, pd, stackheap, Perm::RW);
                 iso += self.translate_access(core, pd, argbuf.va(), Perm::RW);
                 if self.cfg.sanitize {
-                    self.sanitize_stats.full_setups += 1;
-                    self.sanitize_stats.full_setup_ns += (exec + iso).as_ns_f64();
+                    self.emit(LifecycleEvent::PdSetup {
+                        pooled: false,
+                        ns: (exec + iso).as_ns_f64(),
+                    });
                 }
                 (pd, stackheap)
             }
         };
         if matches!(self.slab.get(id).origin, Origin::External { .. }) {
-            if let Some(j) = self.journal.as_mut() {
-                j.pd_create(id, pd.0);
-            }
+            let req = self.slab.get(id).req;
+            self.emit(LifecycleEvent::PdCreated { req, id, pd: pd.0 });
         }
 
         {
@@ -1164,8 +1163,9 @@ impl WorkerServer {
                     .sanitize_pd(&mut self.machine, core, &snapshot)
                     .expect("sanitize scan of a live PD");
                 iso += scan;
-                self.sanitize_stats.sanitizations += 1;
-                self.sanitize_stats.repairs += repairs as u64;
+                self.emit(LifecycleEvent::PdSanitized {
+                    repairs: repairs as u64,
+                });
                 self.pd_pools[func.0 as usize].push((pd, stackheap, snapshot));
             }
             None => {
@@ -1237,25 +1237,18 @@ impl WorkerServer {
                 self.slab.get_mut(id).breakdown.exec += d;
                 let done = t + acc;
                 let measured = self.measuring();
-                if let Some(j) = self.journal.as_mut() {
-                    j.complete(id, measured);
-                }
-                if measured {
-                    self.report.record_request(done.saturating_since(arrival));
-                } else {
-                    self.warmed += 1;
-                    self.report.offered -= 1;
-                }
-                let tag = self.slab.get(id).tag;
-                if tag != 0 {
-                    self.notices.push(WorkerNotice {
-                        tag,
-                        at: done,
-                        outcome: NoticeOutcome::Completed {
-                            latency: done.saturating_since(arrival),
-                        },
-                    });
-                }
+                let (req, tag) = {
+                    let inv = self.slab.get(id);
+                    (inv.req, inv.tag)
+                };
+                self.emit(LifecycleEvent::Completed {
+                    req,
+                    id,
+                    tag,
+                    at: done,
+                    latency: done.saturating_since(arrival),
+                    measured,
+                });
                 self.orchs[orch].in_flight -= 1;
                 if self.orchs[orch].has_work() {
                     self.wake_orch(orch, done);
@@ -1272,16 +1265,22 @@ impl WorkerServer {
             }
         }
 
-        // Record and retire.
+        // Record and retire. `measured` is recomputed here: a Completed
+        // event above may have crossed the warmup boundary, and the
+        // invocation record follows the post-crossing window.
         let done = t + acc;
         let (service, breakdown) = {
             let inv = self.slab.get_mut(id);
             inv.phase = Phase::Done;
             (done.saturating_since(inv.enqueued_at), inv.breakdown)
         };
-        if self.measuring() {
-            self.report.record_invocation(func, service, breakdown);
-        }
+        let measured = self.measuring();
+        self.emit(LifecycleEvent::InvocationFinished {
+            func,
+            service,
+            breakdown,
+            measured,
+        });
         self.slab.remove(id);
         self.execs[e].next_free = done;
     }
@@ -1316,11 +1315,14 @@ impl WorkerServer {
                 self.deliver_child_result(t, core, parent, id, argbuf, false);
             }
         }
-        if self.measuring() {
-            let inv = self.slab.get(id);
-            self.report
-                .record_invocation(func, t.saturating_since(enq), inv.breakdown);
-        }
+        let measured = self.measuring();
+        let breakdown = self.slab.get(id).breakdown;
+        self.emit(LifecycleEvent::InvocationFinished {
+            func,
+            service: t.saturating_since(enq),
+            breakdown,
+            measured,
+        });
         self.slab.remove(id);
     }
 
@@ -1395,16 +1397,10 @@ impl WorkerServer {
     ) {
         let core = self.execs[e].core;
         let mut acc = offset;
-        // A crash is not the invocation's fault: it lands in the crash
-        // counters, not the per-invocation fault ledger.
-        if self.measuring() && !matches!(cause, AbortCause::Crash) {
-            self.report.faults.aborted += 1;
-            match cause {
-                AbortCause::Fault(kind) => self.report.faults.count(kind),
-                AbortCause::Timeout => self.report.faults.timeouts += 1,
-                AbortCause::ChildFailed | AbortCause::Crash => {}
-            }
-        }
+        // A crash is not the invocation's fault: the stats sink routes it
+        // to the crash counters, not the per-invocation fault ledger.
+        let measured = self.measuring();
+        self.emit(LifecycleEvent::Aborted { cause, measured });
 
         let (pd, argbuf, stackheap, func, origin) = {
             let inv = self.slab.get(id);
@@ -1505,56 +1501,48 @@ impl WorkerServer {
         match inv.origin {
             Origin::External { orch, arrival } => {
                 self.orchs[orch].in_flight -= 1;
-                if inv.attempt < self.cfg.recovery.max_retries {
-                    let measured = self.measuring();
-                    if measured {
-                        self.report.faults.retries += 1;
-                    }
-                    let at = t + self.cfg.recovery.backoff(inv.attempt);
-                    let token = self.journal.as_mut().map_or(0, |j| {
-                        j.retry_scheduled(
+                match self.admission.on_failure(inv.attempt) {
+                    FailureDisposition::Retry { attempt, delay } => {
+                        let measured = self.measuring();
+                        let at = t + delay;
+                        let token = self.lifecycle.alloc_token();
+                        self.emit(LifecycleEvent::RetryScheduled {
+                            req: inv.req,
                             id,
-                            PendingRetry {
+                            token,
+                            retry: PendingRetry {
                                 func: inv.func,
                                 bytes: inv.argbuf.len(),
                                 arrival,
-                                attempt: inv.attempt + 1,
+                                attempt,
                                 tag: inv.tag,
                                 due: at,
                             },
+                            kind: RetryKind::Backoff,
                             measured,
-                        )
-                    });
-                    self.queue.push(
-                        at,
-                        Event::Retry {
-                            func: inv.func,
-                            bytes: inv.argbuf.len(),
-                            arrival,
-                            attempt: inv.attempt + 1,
-                            token,
-                            tag: inv.tag,
-                        },
-                    );
-                } else {
-                    let measured = self.measuring();
-                    if let Some(j) = self.journal.as_mut() {
-                        j.fail(id, measured);
+                        });
+                        self.queue.push(
+                            at,
+                            Event::Retry {
+                                req: inv.req,
+                                func: inv.func,
+                                bytes: inv.argbuf.len(),
+                                arrival,
+                                attempt,
+                                token,
+                                tag: inv.tag,
+                            },
+                        );
                     }
-                    if measured {
-                        self.report.faults.failed += 1;
-                    } else {
-                        // Warmup symmetry: an unmeasured terminal failure
-                        // slides the warmup window exactly like an
-                        // unmeasured success.
-                        self.warmed += 1;
-                        self.report.offered -= 1;
-                    }
-                    if inv.tag != 0 {
-                        self.notices.push(WorkerNotice {
+                    FailureDisposition::Fail => {
+                        let measured = self.measuring();
+                        self.emit(LifecycleEvent::Failed {
+                            req: inv.req,
+                            id,
                             tag: inv.tag,
                             at: t,
-                            outcome: NoticeOutcome::Failed,
+                            measured,
+                            notify: true,
                         });
                     }
                 }
@@ -1628,663 +1616,6 @@ impl WorkerServer {
         cost
     }
 
-    // ------------------------------------------------------------------
-    // Crash injection + recovery (journal, checkpoints, reboot)
-    // ------------------------------------------------------------------
-
-    /// In-flight semantics across crashes (at-least-once when no crash
-    /// config exists — the paths below only run when one does).
-    fn crash_semantics(&self) -> CrashSemantics {
-        self.cfg
-            .crash
-            .map(|c| c.semantics)
-            .unwrap_or(CrashSemantics::AtLeastOnce)
-    }
-
-    /// Downtime of a crashed component before it serves again.
-    fn restart_penalty(&self) -> SimDuration {
-        SimDuration::from_ns_f64(
-            self.cfg.crash.map(|c| c.restart_penalty_us).unwrap_or(0.0) * 1_000.0,
-        )
-    }
-
-    /// Checkpoints after `checkpoint_every` journal records accumulate.
-    fn maybe_checkpoint(&mut self, t: SimTime) {
-        let Some(cc) = self.cfg.crash else { return };
-        if self
-            .journal
-            .as_ref()
-            .is_some_and(|j| j.due_checkpoint(cc.checkpoint_every))
-        {
-            self.take_checkpoint(t);
-        }
-    }
-
-    /// Snapshots the worker's hot state: the report, RNG streams, warmup
-    /// progress, the journal's live tables, and the VMA-table image whose
-    /// durable footprint a post-crash reboot must reproduce. Checkpointing
-    /// is free in simulated time (a real implementation would write it
-    /// off the critical path).
-    fn take_checkpoint(&mut self, t: SimTime) {
-        let Some(journal) = self.journal.as_mut() else {
-            return;
-        };
-        let at_record = journal.mark_checkpoint();
-        let cp = WorkerCheckpoint {
-            taken_at: t,
-            at_record,
-            report: self.report.clone(),
-            rng: self.rng.clone(),
-            injector: self.injector.clone(),
-            warmed: self.warmed,
-            in_flight: journal.in_flight().values().copied().collect(),
-            pending: journal.pending().iter().map(|(&k, &v)| (k, v)).collect(),
-            vma: self.privlib.table_snapshot(),
-            free_slots: self.privlib.free_slot_counts(),
-            live_pds: self.privlib.live_pd_ids(),
-            queue_depths: self
-                .orchs
-                .iter()
-                .map(|o| (o.external.len(), o.internal.len()))
-                .collect(),
-        };
-        self.checkpoint = Some(cp);
-    }
-
-    /// Fires the armed crash at `t` (an event boundary, so every live
-    /// invocation is exactly Queued, Suspended, or Faulted).
-    fn crash_now(&mut self, t: SimTime, scope: CrashScope) {
-        if let Some(j) = self.journal.as_mut() {
-            j.crash(scope.label());
-        }
-        self.crash_stats.crashes += 1;
-        match scope {
-            CrashScope::Executor(e) => self.crash_executor(t, e),
-            CrashScope::Orchestrator(o) => self.crash_orchestrator(t, o),
-            CrashScope::Worker => self.crash_worker(t),
-        }
-    }
-
-    /// Settles a crash-killed external request per the semantics knob
-    /// (re-admit or fail); crash-killed internal work propagates failure
-    /// to the parent like any faulted child. `inv` is already out of the
-    /// slab.
-    fn conclude_crashed(&mut self, t: SimTime, core: CoreId, inv: Invocation, id: InvocationId) {
-        match inv.origin {
-            Origin::External { orch, arrival } => {
-                // Never-dispatched requests (still in an orchestrator
-                // deque) were not counted in flight.
-                if inv.executor != usize::MAX {
-                    self.orchs[orch].in_flight -= 1;
-                }
-                match self.crash_semantics() {
-                    CrashSemantics::AtLeastOnce => {
-                        // Re-admission is not the request's fault: it keeps
-                        // its attempt count and shows up in
-                        // `crash.readmitted`, not `faults.retries`.
-                        let due = t + self.restart_penalty();
-                        let token = self.journal.as_mut().map_or(0, |j| {
-                            j.retry_scheduled(
-                                id,
-                                PendingRetry {
-                                    func: inv.func,
-                                    bytes: inv.argbuf.len(),
-                                    arrival,
-                                    attempt: inv.attempt,
-                                    tag: inv.tag,
-                                    due,
-                                },
-                                false,
-                            )
-                        });
-                        self.queue.push(
-                            due,
-                            Event::Retry {
-                                func: inv.func,
-                                bytes: inv.argbuf.len(),
-                                arrival,
-                                attempt: inv.attempt,
-                                token,
-                                tag: inv.tag,
-                            },
-                        );
-                        self.crash_stats.readmitted += 1;
-                    }
-                    CrashSemantics::AtMostOnce => {
-                        let measured = self.measuring();
-                        if let Some(j) = self.journal.as_mut() {
-                            j.fail(id, measured);
-                        }
-                        if measured {
-                            self.report.faults.failed += 1;
-                        } else {
-                            self.warmed += 1;
-                            self.report.offered -= 1;
-                        }
-                        if inv.tag != 0 {
-                            self.notices.push(WorkerNotice {
-                                tag: inv.tag,
-                                at: t,
-                                outcome: NoticeOutcome::Failed,
-                            });
-                        }
-                    }
-                }
-            }
-            Origin::Internal { parent, .. } => {
-                self.deliver_child_result(t, core, parent, id, inv.argbuf, true);
-            }
-        }
-    }
-
-    /// Kills executor `e`: every invocation resident on it dies. Queued
-    /// work never started (reclaim its ArgBuf, settle per semantics);
-    /// suspended continuations tear down through the abort path with the
-    /// `crash_kill` flag steering their conclusion.
-    fn crash_executor(&mut self, t: SimTime, e: usize) {
-        let core = self.execs[e].core;
-        let mut killed = 0u64;
-        for id in self.slab.ids() {
-            // An earlier kill in this sweep may have concluded this entry
-            // (a queued child draining its crash-killed parent).
-            if !self.slab.contains(id) {
-                continue;
-            }
-            let (exec_idx, phase, pd_active) = {
-                let inv = self.slab.get(id);
-                (inv.executor, inv.phase, inv.pd_active)
-            };
-            if exec_idx != e || phase == Phase::Faulted {
-                continue;
-            }
-            killed += 1;
-            if pd_active {
-                self.slab.get_mut(id).crash_kill = true;
-                self.abort(t, SimDuration::ZERO, e, id, AbortCause::Crash);
-            } else {
-                let inv = self.slab.remove(id);
-                // Externals own their ingested ArgBuf; internal buffers
-                // travel back to the parent via conclude_crashed.
-                if matches!(inv.origin, Origin::External { .. }) && inv.argbuf.va() != 0 {
-                    self.privlib
-                        .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
-                        .expect("crashed ArgBuf reclaim");
-                }
-                self.conclude_crashed(t, core, inv, id);
-            }
-        }
-        self.crash_stats.killed += killed;
-        self.execs[e].queue.clear();
-        self.execs[e].ready.clear();
-        self.execs[e].next_free = t + self.restart_penalty();
-    }
-
-    /// Kills orchestrator `o`: only its *queued* work dies — requests it
-    /// already dispatched keep running on their executors. Externals settle
-    /// per semantics; internals propagate failure to their parents.
-    fn crash_orchestrator(&mut self, t: SimTime, o: usize) {
-        let core = self.orchs[o].core;
-        let externals: Vec<InvocationId> = self.orchs[o].external.drain(..).collect();
-        let internals: Vec<InvocationId> = self.orchs[o].internal.drain(..).collect();
-        self.crash_stats.killed += (externals.len() + internals.len()) as u64;
-        for id in externals {
-            let inv = self.slab.remove(id);
-            // A requeued request may already hold an ingested ArgBuf.
-            if inv.argbuf.va() != 0 {
-                self.privlib
-                    .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
-                    .expect("crashed ArgBuf reclaim");
-            }
-            self.conclude_crashed(t, core, inv, id);
-        }
-        for id in internals {
-            let inv = self.slab.remove(id);
-            let Origin::Internal { parent, .. } = inv.origin else {
-                unreachable!("internal deque holds only internal requests");
-            };
-            self.deliver_child_result(t, core, parent, id, inv.argbuf, true);
-        }
-        self.orchs[o].next_free = t + self.restart_penalty();
-    }
-
-    /// Kills the whole worker process and recovers it: replay the journal
-    /// suffix over the latest checkpoint (proving the replayed tables
-    /// against the journal's live tables and the slab), reboot a pristine
-    /// process image (validating its durable VMA footprint against the
-    /// checkpoint's), restore the replayed ledger, and settle every
-    /// interrupted request per the semantics knob.
-    fn crash_worker(&mut self, t: SimTime) {
-        let cc = self
-            .cfg
-            .crash
-            .expect("worker crash requires a crash config");
-        let checkpoint = self
-            .checkpoint
-            .clone()
-            .expect("journaled runs checkpoint at start");
-        self.crash_stats.killed += self.slab.len() as u64;
-
-        // Replay checkpoint + suffix and prove it against two independent
-        // witnesses: the journal's live tables and the slab population.
-        let (recovered, live_in_flight, live_pending) = {
-            let j = self
-                .journal
-                .as_ref()
-                .expect("worker crash requires the journal");
-            let rec = j.replay(&checkpoint);
-            (
-                rec,
-                j.in_flight().keys().copied().collect::<Vec<_>>(),
-                j.pending().keys().copied().collect::<Vec<_>>(),
-            )
-        };
-        self.crash_stats.replayed += recovered.replayed;
-        assert_eq!(
-            recovered.in_flight.keys().copied().collect::<Vec<_>>(),
-            live_in_flight,
-            "replayed in-flight table must match the journal's live table"
-        );
-        assert_eq!(
-            recovered.pending.keys().copied().collect::<Vec<_>>(),
-            live_pending,
-            "replayed pending-retry table must match the journal's live table"
-        );
-        let mut slab_externals: Vec<usize> = self
-            .slab
-            .iter()
-            .filter(|(_, inv)| matches!(inv.origin, Origin::External { .. }))
-            .map(|(id, _)| id.0)
-            .collect();
-        slab_externals.sort_unstable();
-        assert_eq!(
-            live_in_flight, slab_externals,
-            "journal in-flight table must mirror the slab's external population"
-        );
-
-        // The process dies: every continuation, queue entry, and pooled PD
-        // evaporates. Undelivered network arrivals are the only survivors —
-        // they exist outside the crashed process.
-        self.slab.clear();
-        for pool in &mut self.pd_pools {
-            pool.clear();
-        }
-        let survivors: Vec<(SimTime, Event)> = self
-            .queue
-            .drain()
-            .into_iter()
-            .filter(|(_, ev)| matches!(ev, Event::Arrival { .. }))
-            .collect();
-        for (at, ev) in survivors {
-            self.queue.push(at, ev);
-        }
-
-        // Reboot to the pristine image and check it reproduces the
-        // checkpoint's durable (privileged/global) mappings bit-for-bit.
-        let parts =
-            Self::boot_parts(&self.cfg, &self.registry).expect("reboot of a validated config");
-        self.machine = parts.machine;
-        self.privlib = parts.privlib;
-        self.code_vmas = parts.code_vmas;
-        self.privlib_code = parts.privlib_code;
-        self.orchs = parts.orchs;
-        self.execs = parts.execs;
-        self.rr_orch = 0;
-        assert_eq!(
-            self.privlib.table_snapshot().durable_footprint(),
-            checkpoint.vma.durable_footprint(),
-            "reboot must reproduce the checkpoint's durable mappings"
-        );
-        for (class, (&now_free, &cp_free)) in self
-            .privlib
-            .free_slot_counts()
-            .iter()
-            .zip(checkpoint.free_slots.iter())
-            .enumerate()
-        {
-            assert!(
-                now_free >= cp_free,
-                "size class {class}: rebooted free slots {now_free} < checkpoint's {cp_free}"
-            );
-        }
-
-        // Restore the replayed ledger and the checkpointed RNG streams.
-        self.report = recovered.report;
-        self.warmed = recovered.warmed;
-        self.rng = checkpoint.rng.clone();
-        self.injector = checkpoint.injector.clone();
-
-        // Settle interrupted work.
-        let restart = t + self.restart_penalty();
-        match cc.semantics {
-            CrashSemantics::AtLeastOnce => {
-                // In-flight requests re-enter once the worker restarts;
-                // already-pending retries keep their token (and journal
-                // record) and fire no earlier than the restart.
-                for p in recovered.in_flight.values() {
-                    let token = self.journal.as_mut().map_or(0, |j| {
-                        j.retry_scheduled(
-                            p.id,
-                            PendingRetry {
-                                func: p.func,
-                                bytes: p.bytes,
-                                arrival: p.arrival,
-                                attempt: p.attempt,
-                                tag: p.tag,
-                                due: restart,
-                            },
-                            false,
-                        )
-                    });
-                    self.queue.push(
-                        restart,
-                        Event::Retry {
-                            func: p.func,
-                            bytes: p.bytes,
-                            arrival: p.arrival,
-                            attempt: p.attempt,
-                            token,
-                            tag: p.tag,
-                        },
-                    );
-                    self.crash_stats.readmitted += 1;
-                }
-                for (&token, r) in recovered.pending.iter() {
-                    self.queue.push(
-                        r.due.max(restart),
-                        Event::Retry {
-                            func: r.func,
-                            bytes: r.bytes,
-                            arrival: r.arrival,
-                            attempt: r.attempt,
-                            token,
-                            tag: r.tag,
-                        },
-                    );
-                }
-            }
-            CrashSemantics::AtMostOnce => {
-                // Every interrupted request — in flight or awaiting a
-                // retry — terminally fails.
-                for p in recovered.in_flight.values() {
-                    let measured = self.measuring();
-                    if let Some(j) = self.journal.as_mut() {
-                        j.fail(p.id, measured);
-                    }
-                    if measured {
-                        self.report.faults.failed += 1;
-                    } else {
-                        self.warmed += 1;
-                        self.report.offered -= 1;
-                    }
-                }
-                for &token in recovered.pending.keys() {
-                    let measured = self.measuring();
-                    if let Some(j) = self.journal.as_mut() {
-                        j.retry_dropped(token, measured);
-                    }
-                    if measured {
-                        self.report.faults.failed += 1;
-                    } else {
-                        self.warmed += 1;
-                        self.report.offered -= 1;
-                    }
-                }
-            }
-        }
-        // Re-checkpoint immediately: a second crash must replay against
-        // the rebooted image, not pre-crash state.
-        self.take_checkpoint(restart);
-    }
-
-    // ------------------------------------------------------------------
-    // Cluster hooks: tagged cancellation, drain inspection, failover
-    // ------------------------------------------------------------------
-
-    /// Tags of every tagged external request that has not yet been
-    /// dispatched to an executor: undelivered network arrivals plus
-    /// requests still sitting in an orchestrator deque. A cluster drain
-    /// pulls these to rebalance them onto other workers.
-    pub fn queued_tags(&self) -> Vec<u64> {
-        let mut tags: Vec<u64> = self
-            .queue
-            .iter()
-            .filter_map(|(_, ev)| match ev {
-                Event::Arrival { tag, .. } if *tag != 0 => Some(*tag),
-                _ => None,
-            })
-            .collect();
-        for orch in &self.orchs {
-            for &id in &orch.external {
-                let tag = self.slab.get(id).tag;
-                if tag != 0 {
-                    tags.push(tag);
-                }
-            }
-        }
-        tags
-    }
-
-    /// Best-effort cancellation of the tagged request copy on this
-    /// worker. Only a copy that has not been dispatched yet can be
-    /// cancelled: an undelivered network arrival, or a request still
-    /// queued in an orchestrator deque. A running copy is left to
-    /// finish — the cluster counts its eventual notice as a duplicate.
-    /// Cancellation un-offers the request so the worker-level
-    /// conservation invariant (`offered == completed + failed + shed`)
-    /// keeps holding without a terminal notice.
-    pub fn cancel_tagged(&mut self, tag: u64) -> bool {
-        debug_assert_ne!(tag, 0, "tag 0 means untagged");
-        // An undelivered arrival: no invocation exists yet, so only the
-        // admission count needs unwinding (nothing was journaled).
-        let pending = self.queue.drain();
-        let mut cancelled = false;
-        for (at, ev) in pending {
-            if !cancelled {
-                if let Event::Arrival { tag: t, .. } = ev {
-                    if t == tag {
-                        cancelled = true;
-                        self.report.offered -= 1;
-                        continue;
-                    }
-                }
-            }
-            self.queue.push(at, ev);
-        }
-        if cancelled {
-            return true;
-        }
-        // A queued, never-dispatched copy in an orchestrator deque:
-        // remove it, reclaim its ArgBuf, and journal the cancellation
-        // so a later replay un-offers it the same way.
-        for o in 0..self.orchs.len() {
-            let pos = self.orchs[o]
-                .external
-                .iter()
-                .position(|&id| self.slab.get(id).tag == tag);
-            if let Some(pos) = pos {
-                let id = self.orchs[o]
-                    .external
-                    .remove(pos)
-                    .expect("position is in range");
-                let inv = self.slab.remove(id);
-                let core = self.orchs[o].core;
-                if inv.argbuf.va() != 0 {
-                    self.privlib
-                        .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
-                        .expect("cancelled ArgBuf reclaim");
-                }
-                if let Some(j) = self.journal.as_mut() {
-                    j.cancel(id);
-                }
-                self.report.offered -= 1;
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Kills and recovers this worker on behalf of a cluster dispatcher.
-    ///
-    /// Same recovery discipline as a standalone worker crash — replay
-    /// the journal suffix over the latest checkpoint (proving the
-    /// replayed tables against the live tables and the slab), reboot a
-    /// pristine image, validate its durable VMA footprint — but instead
-    /// of settling interrupted requests locally, every tagged request
-    /// the crash stranded (in flight, awaiting a local retry, or still
-    /// undelivered in the network queue) is returned to the caller so
-    /// the dispatcher can re-route or fail it cluster-wide.
-    ///
-    /// The worker restarts empty: fresh journal (the old one's records
-    /// are retired into the report counters), fresh checkpoint, and
-    /// `offered` rebased to the terminal counters so the conservation
-    /// invariant holds even though cluster arrivals are pushed
-    /// dynamically rather than pre-loaded.
-    pub fn crash_for_cluster(&mut self, t: SimTime) -> Vec<StrandedRequest> {
-        let checkpoint = self
-            .checkpoint
-            .clone()
-            .expect("journaled runs checkpoint at start");
-        if let Some(j) = self.journal.as_mut() {
-            j.crash("cluster-worker");
-        }
-        self.crash_stats.crashes += 1;
-        self.crash_stats.killed += self.slab.len() as u64;
-
-        // Replay and prove, exactly as in `crash_worker`.
-        let (recovered, live_in_flight, live_pending) = {
-            let j = self
-                .journal
-                .as_ref()
-                .expect("cluster workers always journal");
-            let rec = j.replay(&checkpoint);
-            (
-                rec,
-                j.in_flight().keys().copied().collect::<Vec<_>>(),
-                j.pending().keys().copied().collect::<Vec<_>>(),
-            )
-        };
-        self.crash_stats.replayed += recovered.replayed;
-        assert_eq!(
-            recovered.in_flight.keys().copied().collect::<Vec<_>>(),
-            live_in_flight,
-            "replayed in-flight table must match the journal's live table"
-        );
-        assert_eq!(
-            recovered.pending.keys().copied().collect::<Vec<_>>(),
-            live_pending,
-            "replayed pending-retry table must match the journal's live table"
-        );
-        let mut slab_externals: Vec<usize> = self
-            .slab
-            .iter()
-            .filter(|(_, inv)| matches!(inv.origin, Origin::External { .. }))
-            .map(|(id, _)| id.0)
-            .collect();
-        slab_externals.sort_unstable();
-        assert_eq!(
-            live_in_flight, slab_externals,
-            "journal in-flight table must mirror the slab's external population"
-        );
-
-        // Everything in the process dies. Unlike a standalone crash,
-        // undelivered arrivals do not survive in place: the outside
-        // world is the dispatcher, which re-routes them.
-        self.slab.clear();
-        for pool in &mut self.pd_pools {
-            pool.clear();
-        }
-        let mut stranded: Vec<StrandedRequest> = Vec::new();
-        for (_, ev) in self.queue.drain() {
-            if let Event::Arrival {
-                func,
-                bytes,
-                tag: tag @ 1..,
-            } = ev
-            {
-                stranded.push(StrandedRequest {
-                    tag,
-                    func,
-                    bytes,
-                    arrival: t,
-                });
-            }
-            // Retries are already tracked in the pending table below;
-            // wake events are lost in-memory state.
-        }
-        for p in recovered.in_flight.values() {
-            debug_assert_ne!(p.tag, 0, "cluster-mode requests are always tagged");
-            stranded.push(StrandedRequest {
-                tag: p.tag,
-                func: p.func,
-                bytes: p.bytes,
-                arrival: p.arrival,
-            });
-        }
-        for r in recovered.pending.values() {
-            debug_assert_ne!(r.tag, 0, "cluster-mode requests are always tagged");
-            stranded.push(StrandedRequest {
-                tag: r.tag,
-                func: r.func,
-                bytes: r.bytes,
-                arrival: r.arrival,
-            });
-        }
-
-        // Reboot to the pristine image and check it reproduces the
-        // checkpoint's durable (privileged/global) mappings bit-for-bit.
-        let parts =
-            Self::boot_parts(&self.cfg, &self.registry).expect("reboot of a validated config");
-        self.machine = parts.machine;
-        self.privlib = parts.privlib;
-        self.code_vmas = parts.code_vmas;
-        self.privlib_code = parts.privlib_code;
-        self.orchs = parts.orchs;
-        self.execs = parts.execs;
-        self.rr_orch = 0;
-        assert_eq!(
-            self.privlib.table_snapshot().durable_footprint(),
-            checkpoint.vma.durable_footprint(),
-            "reboot must reproduce the checkpoint's durable mappings"
-        );
-        for (class, (&now_free, &cp_free)) in self
-            .privlib
-            .free_slot_counts()
-            .iter()
-            .zip(checkpoint.free_slots.iter())
-            .enumerate()
-        {
-            assert!(
-                now_free >= cp_free,
-                "size class {class}: rebooted free slots {now_free} < checkpoint's {cp_free}"
-            );
-        }
-
-        // Restore the replayed ledger. Cluster arrivals are pushed
-        // dynamically (never pre-loaded), so the checkpointed `offered`
-        // undercounts by whatever was in the network at checkpoint
-        // time; the stranded requests leave this worker's books
-        // entirely, so rebase `offered` on the terminal counters.
-        self.report = recovered.report;
-        self.report.offered =
-            self.report.completed + self.report.faults.failed + self.report.faults.sheds;
-        self.warmed = recovered.warmed;
-        self.rng = checkpoint.rng.clone();
-        self.injector = checkpoint.injector.clone();
-
-        // Retire the dead process's journal into the cumulative
-        // counters and start a fresh one for the rebooted image: the
-        // stranded requests are the dispatcher's problem now, so the
-        // new journal's live tables are rightly empty.
-        if let Some(j) = &self.journal {
-            self.retired_journal_records += j.len() as u64;
-            self.retired_checkpoints += j.checkpoints();
-        }
-        self.journal = Some(InvocationJournal::new());
-        self.checkpoint = None;
-        self.take_checkpoint(t);
-        stranded
-    }
-
     /// Destroys every pooled sanitized PD (end of run): revoke the code
     /// grant, free the retained stack/heap, drop the PD. Costs fall
     /// outside the measurement window.
@@ -2309,13 +1640,11 @@ impl WorkerServer {
     /// Rolls the injector's VLB-glitch die: a spurious invalidation flushes
     /// both VLBs of `core`, and the cost emerges downstream as re-walks.
     fn maybe_glitch(&mut self, core: CoreId) {
-        if let Some(inj) = &mut self.injector {
-            if inj.glitch() {
-                self.machine.vlb_flush(core);
-                if self.warmed >= self.warmup {
-                    self.report.faults.glitches += 1;
-                }
-            }
+        let glitched = self.injector.as_mut().is_some_and(|inj| inj.glitch());
+        if glitched {
+            self.machine.vlb_flush(core);
+            let measured = self.measuring();
+            self.emit(LifecycleEvent::Glitched { measured });
         }
     }
 
@@ -2382,1012 +1711,5 @@ impl std::fmt::Debug for WorkerServer {
             .field("executors", &self.execs.len())
             .field("live_invocations", &self.slab.len())
             .finish()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::SystemVariant;
-    use crate::function::FunctionSpec;
-    use jord_sim::TimeDist;
-
-    fn registry_leaf() -> (FunctionRegistry, FunctionId) {
-        let mut r = FunctionRegistry::new();
-        let f = r.register(
-            FunctionSpec::new("leaf")
-                .op(FuncOp::ReadInput)
-                .op(FuncOp::Compute(TimeDist::fixed(1_000.0)))
-                .op(FuncOp::WriteOutput),
-        );
-        (r, f)
-    }
-
-    #[test]
-    fn single_request_completes() {
-        let (r, f) = registry_leaf();
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        s.push_request(SimTime::ZERO, f, 512);
-        let report = s.run();
-        assert_eq!(report.completed, 1);
-        assert_eq!(report.invocations, 1);
-        let lat = report.latency.max().unwrap().as_us_f64();
-        assert!((1.0..10.0).contains(&lat), "latency {lat} µs out of range");
-    }
-
-    #[test]
-    fn nested_sync_call_completes_and_counts_two_invocations() {
-        let mut r = FunctionRegistry::new();
-        let leaf =
-            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(500.0))));
-        let root = r.register(
-            FunctionSpec::new("root")
-                .op(FuncOp::Compute(TimeDist::fixed(300.0)))
-                .call(leaf, 128)
-                .op(FuncOp::WriteOutput),
-        );
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        s.push_request(SimTime::ZERO, root, 256);
-        let report = s.run();
-        assert_eq!(report.completed, 1);
-        assert_eq!(report.invocations, 2);
-        // Root service must cover child's service.
-        let root_ns = report.functions[&root].mean_service_ns();
-        let leaf_ns = report.functions[&leaf].mean_service_ns();
-        assert!(root_ns > leaf_ns + 300.0, "root {root_ns} leaf {leaf_ns}");
-    }
-
-    #[test]
-    fn async_calls_join_at_waitall() {
-        let mut r = FunctionRegistry::new();
-        let leaf =
-            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(2_000.0))));
-        let root = r.register(
-            FunctionSpec::new("root")
-                .call_async(leaf, 128)
-                .call_async(leaf, 128)
-                .call_async(leaf, 128)
-                .op(FuncOp::WaitAll)
-                .op(FuncOp::WriteOutput),
-        );
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        s.push_request(SimTime::ZERO, root, 256);
-        let report = s.run();
-        assert_eq!(report.invocations, 4);
-        // Async children overlap: root service ≪ 3 × 2 µs + overheads.
-        let root_ns = report.functions[&root].mean_service_ns();
-        assert!(
-            root_ns < 5_500.0,
-            "async fan-out must overlap, got {root_ns} ns"
-        );
-        assert!(root_ns > 2_000.0);
-    }
-
-    #[test]
-    fn deep_nesting_makes_forward_progress() {
-        // A chain deeper than the JBSQ bound exercises the internal-queue
-        // priority rule (§3.3's deadlock-avoidance mechanism).
-        let mut r = FunctionRegistry::new();
-        let mut f = r.register(FunctionSpec::new("f0").op(FuncOp::Compute(TimeDist::fixed(100.0))));
-        for depth in 1..12 {
-            f = r.register(
-                FunctionSpec::new(format!("f{depth}"))
-                    .op(FuncOp::Compute(TimeDist::fixed(100.0)))
-                    .call(f, 128),
-            );
-        }
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        for i in 0..64 {
-            s.push_request(SimTime::from_ns(i * 50), f, 256);
-        }
-        let report = s.run();
-        assert_eq!(report.completed, 64);
-        assert_eq!(report.invocations, 64 * 12);
-    }
-
-    #[test]
-    fn temp_vmas_alloc_and_free() {
-        let mut r = FunctionRegistry::new();
-        let f = r.register(
-            FunctionSpec::new("mapper")
-                .op(FuncOp::MmapTemp { bytes: 4096 })
-                .op(FuncOp::Compute(TimeDist::fixed(200.0)))
-                .op(FuncOp::MunmapTemp),
-        );
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        for i in 0..10 {
-            s.push_request(SimTime::from_us(i), f, 128);
-        }
-        let report = s.run();
-        assert_eq!(report.completed, 10);
-        // All VMAs must be returned (only boot + code VMAs remain).
-        assert_eq!(s.privlib().live_vmas(), 3 + 1);
-    }
-
-    #[test]
-    fn variants_order_sanely_on_identical_load() {
-        let mk = |variant| {
-            let (r, f) = registry_leaf();
-            let cfg = RuntimeConfig::variant_on(variant, jord_hw::MachineConfig::isca25());
-            let mut s = WorkerServer::new(cfg, r).unwrap();
-            let mut rng = Rng::new(7);
-            let mut t = SimTime::ZERO;
-            for _ in 0..2000 {
-                t += SimDuration::from_ns_f64(rng.exponential(1000.0));
-                s.push_request(t, f, 512);
-            }
-            let rep = s.run();
-            assert_eq!(rep.completed, 2000);
-            rep.latency.mean().unwrap().as_ns_f64()
-        };
-        let ni = mk(SystemVariant::JordNi);
-        let jord = mk(SystemVariant::Jord);
-        let bt = mk(SystemVariant::JordBt);
-        assert!(ni < jord, "NI ({ni}) must beat Jord ({jord})");
-        assert!(jord < bt, "plain list ({jord}) must beat B-tree ({bt})");
-    }
-
-    #[test]
-    fn determinism_same_seed_same_report() {
-        let run = || {
-            let (r, f) = registry_leaf();
-            let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-            for i in 0..500 {
-                s.push_request(SimTime::from_ns(i * 777), f, 256);
-            }
-            let rep = s.run();
-            (
-                rep.latency.quantile(0.5),
-                rep.latency.max(),
-                rep.finished_at,
-            )
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn internal_requests_spill_to_peer_servers_under_pressure() {
-        use crate::config::SpillConfig;
-        // A wide fan-out workload on a deliberately tiny machine with a
-        // tight JBSQ bound: local executors cannot absorb the internal
-        // burst, so the orchestrator must ship some of it to a peer (§3.3).
-        let mut r = FunctionRegistry::new();
-        let leaf =
-            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(3_000.0))));
-        let mut root = FunctionSpec::new("root").op(FuncOp::ReadInput);
-        for _ in 0..24 {
-            root = root.call_async(leaf, 128);
-        }
-        let root = r.register(root.op(FuncOp::WaitAll).op(FuncOp::WriteOutput));
-
-        let mut cfg =
-            RuntimeConfig::variant_on(SystemVariant::Jord, jord_hw::MachineConfig::scaled(16))
-                .with_spill(SpillConfig {
-                    network_rtt_us: 10.0,
-                    backlog_threshold: 4,
-                    remote_slowdown: 1.0,
-                });
-        cfg.queue_bound = 1;
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        for i in 0..200u64 {
-            s.push_request(SimTime::from_ns(i * 2_000), root, 256);
-        }
-        let rep = s.run();
-        assert_eq!(rep.completed, 200);
-        assert_eq!(rep.invocations, 200 * 25);
-        assert!(rep.spilled > 0, "pressure must have spilled internals");
-        assert!(
-            rep.spilled < rep.invocations,
-            "most work still runs locally"
-        );
-    }
-
-    #[test]
-    fn spill_disabled_keeps_everything_local() {
-        let (r, f) = registry_leaf();
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        for i in 0..500u64 {
-            s.push_request(SimTime::from_ns(i * 100), f, 128);
-        }
-        let rep = s.run();
-        assert_eq!(rep.spilled, 0);
-    }
-
-    #[test]
-    fn overload_grows_latency_but_completes() {
-        let (r, f) = registry_leaf();
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        // 10 k requests in 10 µs: far beyond capacity.
-        for i in 0..10_000u64 {
-            s.push_request(SimTime::from_ps(i), f, 128);
-        }
-        let rep = s.run();
-        assert_eq!(rep.completed, 10_000);
-        let p99 = rep.p99().unwrap();
-        let p50 = rep.latency.quantile(0.5).unwrap();
-        assert!(p99 > p50, "overload must show queueing tail");
-        assert!(
-            p99.as_us_f64() > 50.0,
-            "p99 {p99} should reflect heavy queueing"
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Fault injection + containment
-    // ------------------------------------------------------------------
-
-    use crate::config::RecoveryPolicy;
-    use jord_hw::InjectConfig;
-
-    /// Every request must end Completed, Faulted, or Shed — none lost —
-    /// and a drained server must hold no invocation, PD, or VMA it did
-    /// not hold before the run.
-    fn assert_contained(s: &WorkerServer, rep: &RunReport, vmas: usize, pds: usize) {
-        assert_eq!(
-            rep.offered,
-            rep.completed + rep.faults.failed + rep.faults.sheds,
-            "request accounting must balance: {rep:?}"
-        );
-        assert_eq!(s.live_invocations(), 0, "slab must drain");
-        assert_eq!(
-            s.privlib().live_vmas(),
-            vmas,
-            "VMAs must return to baseline"
-        );
-        assert_eq!(s.privlib().live_pds(), pds, "PDs must return to baseline");
-    }
-
-    #[test]
-    fn injected_faults_reduce_goodput_but_lose_nothing() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32()
-            .with_inject(InjectConfig::faults(0.05))
-            .with_recovery(RecoveryPolicy {
-                max_retries: 0,
-                ..RecoveryPolicy::default()
-            });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..2_000u64 {
-            s.push_request(SimTime::from_ns(i * 900), f, 256);
-        }
-        let rep = s.run();
-        assert!(rep.faults.failed > 0, "5% fault rate must fail something");
-        assert!(
-            rep.completed < rep.offered,
-            "goodput must fall below throughput under injection"
-        );
-        assert!(rep.goodput() < 1.0 && rep.goodput() > 0.8);
-        assert!(rep.faults.total_faults() > 0);
-        assert_eq!(rep.faults.aborted, rep.faults.total_faults());
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn retries_recover_transient_faults() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32()
-            .with_inject(InjectConfig::faults(0.02))
-            .with_recovery(RecoveryPolicy {
-                max_retries: 5,
-                ..RecoveryPolicy::default()
-            });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..1_000u64 {
-            s.push_request(SimTime::from_ns(i * 900), f, 256);
-        }
-        let rep = s.run();
-        assert!(rep.faults.retries > 0, "2% fault rate must trigger retries");
-        assert_eq!(
-            rep.faults.failed, 0,
-            "independent retry draws at 2% cannot exhaust 5 attempts"
-        );
-        assert_eq!(rep.completed, rep.offered);
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn deadline_kills_runaways() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32()
-            .with_inject(InjectConfig {
-                runaway_rate: 0.1,
-                runaway_factor: 1_000.0,
-                ..InjectConfig::default()
-            })
-            .with_recovery(RecoveryPolicy {
-                max_retries: 0,
-                deadline_us: Some(50.0),
-                ..RecoveryPolicy::default()
-            });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..500u64 {
-            s.push_request(SimTime::from_ns(i * 2_000), f, 256);
-        }
-        let rep = s.run();
-        assert!(
-            rep.faults.timeouts > 0,
-            "10% runaways must blow the 50 µs deadline"
-        );
-        assert_eq!(rep.faults.failed, rep.faults.timeouts);
-        // A 1 ms spin with no deadline would dominate the run; with one the
-        // run finishes within a sane horizon.
-        assert!(rep.finished_at.as_us_f64() < 5_000.0);
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn admission_control_sheds_overload() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32().with_recovery(RecoveryPolicy {
-            shed_bound: Some(32),
-            ..RecoveryPolicy::default()
-        });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        // 10 k requests all at once: far beyond the shed bound.
-        for i in 0..10_000u64 {
-            s.push_request(SimTime::from_ps(i), f, 128);
-        }
-        let rep = s.run();
-        assert!(rep.faults.sheds > 0, "burst must overflow the shed bound");
-        assert!(rep.completed > 0, "admitted work still completes");
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn chaos_same_seed_same_report() {
-        let run = || {
-            let mut r = FunctionRegistry::new();
-            let leaf =
-                r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(500.0))));
-            let root = r.register(
-                FunctionSpec::new("root")
-                    .op(FuncOp::ReadInput)
-                    .call_async(leaf, 128)
-                    .call(leaf, 128)
-                    .op(FuncOp::WaitAll)
-                    .op(FuncOp::WriteOutput),
-            );
-            let cfg = RuntimeConfig::jord_32()
-                .with_inject(InjectConfig {
-                    fault_rate: 0.03,
-                    runaway_rate: 0.01,
-                    runaway_factor: 20.0,
-                    vlb_glitch_rate: 0.001,
-                    ..InjectConfig::default()
-                })
-                .with_recovery(RecoveryPolicy {
-                    max_retries: 2,
-                    deadline_us: Some(500.0),
-                    shed_bound: Some(256),
-                    ..RecoveryPolicy::default()
-                });
-            let mut s = WorkerServer::new(cfg, r).unwrap();
-            let mut rng = Rng::new(11);
-            let mut t = SimTime::ZERO;
-            for _ in 0..800 {
-                t += SimDuration::from_ns_f64(rng.exponential(1_500.0));
-                s.push_request(t, root, 512);
-            }
-            let rep = s.run();
-            (
-                rep.faults,
-                rep.completed,
-                rep.invocations,
-                rep.latency.quantile(0.5),
-                rep.latency.max(),
-                rep.finished_at,
-            )
-        };
-        let a = run();
-        assert!(a.0.total_faults() > 0, "chaos run must raise faults");
-        assert_eq!(a, run(), "same seed must give a bit-identical report");
-    }
-
-    #[test]
-    fn chaos_nested_trees_contain_faults_without_leaks() {
-        // Nested sync + async calls under aggressive injection: child
-        // failures propagate to parents, aborted parents drain straggler
-        // children (zombies), and nothing leaks.
-        let mut r = FunctionRegistry::new();
-        let leaf =
-            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(400.0))));
-        let mid = r.register(
-            FunctionSpec::new("mid")
-                .op(FuncOp::MmapTemp { bytes: 8192 })
-                .call(leaf, 128)
-                .op(FuncOp::MunmapTemp),
-        );
-        let root = r.register(
-            FunctionSpec::new("root")
-                .op(FuncOp::ReadInput)
-                .call_async(leaf, 128)
-                .call_async(mid, 128)
-                .call(mid, 128)
-                .op(FuncOp::WaitAll)
-                .op(FuncOp::WriteOutput),
-        );
-        let cfg = RuntimeConfig::jord_32()
-            .with_inject(InjectConfig::faults(0.08))
-            .with_recovery(RecoveryPolicy {
-                max_retries: 1,
-                ..RecoveryPolicy::default()
-            });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..600u64 {
-            s.push_request(SimTime::from_ns(i * 3_000), root, 256);
-        }
-        let rep = s.run();
-        assert!(rep.faults.total_faults() > 0);
-        assert!(
-            rep.faults.failed > 0,
-            "8% per invocation over 5-node trees must fail some"
-        );
-        assert!(rep.completed > 0, "most trees still complete");
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn chaos_at_acceptance_rate_stays_graceful() {
-        // The acceptance bar: fault rate 1e-3 must barely dent goodput.
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32()
-            .with_inject(InjectConfig::faults(1e-3))
-            .with_recovery(RecoveryPolicy {
-                max_retries: 0,
-                ..RecoveryPolicy::default()
-            });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..5_000u64 {
-            s.push_request(SimTime::from_ns(i * 800), f, 256);
-        }
-        let rep = s.run();
-        assert!(rep.goodput() > 0.99, "goodput {} at 1e-3", rep.goodput());
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn bypassed_isolation_misses_memory_faults() {
-        // Jord_NI has no VMA permission enforcement: wild, permission, and
-        // privilege misbehavior sails through undetected. Only the gate
-        // decoder and CSR privilege checks (machine-level) still trip.
-        let run = |variant| {
-            let (r, f) = registry_leaf();
-            let cfg = RuntimeConfig::variant_on(variant, jord_hw::MachineConfig::isca25())
-                .with_inject(InjectConfig::faults(0.1))
-                .with_recovery(RecoveryPolicy {
-                    max_retries: 0,
-                    ..RecoveryPolicy::default()
-                });
-            let mut s = WorkerServer::new(cfg, r).unwrap();
-            for i in 0..2_000u64 {
-                s.push_request(SimTime::from_ns(i * 900), f, 256);
-            }
-            s.run().faults
-        };
-        let full = run(SystemVariant::Jord);
-        let ni = run(SystemVariant::JordNi);
-        for kind in [
-            FaultKind::Unmapped,
-            FaultKind::Permission,
-            FaultKind::Privilege,
-        ] {
-            assert!(full.of_kind(kind) > 0, "full isolation catches {kind}");
-            assert_eq!(ni.of_kind(kind), 0, "NI must miss {kind}");
-        }
-        assert!(
-            ni.of_kind(FaultKind::MissingGate) > 0,
-            "uatg decode is hardware"
-        );
-        assert!(
-            ni.of_kind(FaultKind::CsrAccess) > 0,
-            "CSR privilege is hardware"
-        );
-        assert!(ni.total_faults() < full.total_faults());
-    }
-
-    #[test]
-    fn vlb_glitches_cost_translations_but_complete() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32().with_inject(InjectConfig {
-            vlb_glitch_rate: 0.01,
-            ..InjectConfig::default()
-        });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        for i in 0..1_000u64 {
-            s.push_request(SimTime::from_ns(i * 900), f, 256);
-        }
-        let rep = s.run();
-        assert!(rep.faults.glitches > 0, "1% glitch rate must fire");
-        assert_eq!(
-            rep.completed, rep.offered,
-            "glitches cost time, not requests"
-        );
-        assert_eq!(rep.faults.total_faults(), 0);
-    }
-
-    #[test]
-    fn warmup_discards_early_failures_symmetrically() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32()
-            .with_inject(InjectConfig::faults(0.05))
-            .with_recovery(RecoveryPolicy {
-                max_retries: 0,
-                ..RecoveryPolicy::default()
-            });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        s.set_warmup(200);
-        for i in 0..2_000u64 {
-            s.push_request(SimTime::from_ns(i * 900), f, 256);
-        }
-        let rep = s.run();
-        assert!(rep.offered < 2_000, "warmup must discount early requests");
-        assert_eq!(
-            rep.offered,
-            rep.completed + rep.faults.failed + rep.faults.sheds
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Crash recovery (journal, checkpoint/restore, semantics) + PD
-    // snapshot sanitization
-    // ------------------------------------------------------------------
-
-    use crate::recovery::CrashConfig;
-
-    /// A burst far beyond instantaneous capacity: the queues stay deep for
-    /// hundreds of microseconds, so a mid-drain crash provably finds work
-    /// in flight at the event boundary where it fires.
-    fn crash_workload(cfg: RuntimeConfig) -> (WorkerServer, usize, usize) {
-        let (r, f) = registry_leaf();
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let vmas = s.privlib().live_vmas();
-        let pds = s.privlib().live_pds();
-        for i in 0..4_000u64 {
-            s.push_request(SimTime::from_ps(i), f, 128);
-        }
-        (s, vmas, pds)
-    }
-
-    #[test]
-    fn journal_only_mode_audits_without_crashing() {
-        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
-        let (mut s, vmas, pds) = crash_workload(cfg);
-        let rep = s.run();
-        assert_eq!(rep.crash.crashes, 0);
-        assert_eq!(rep.completed, 4_000);
-        assert!(
-            rep.crash.journal_records >= 4_000 * 5,
-            "five lifecycle records per request, got {}",
-            rep.crash.journal_records
-        );
-        assert!(
-            rep.crash.checkpoints >= 1,
-            "the initial checkpoint at least"
-        );
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn worker_crash_at_least_once_matches_the_crash_free_run() {
-        let (mut baseline, _, _) = crash_workload(RuntimeConfig::jord_32());
-        let base = baseline.run();
-        assert_eq!(base.completed, 4_000);
-
-        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
-            CrashPlan::worker_at(150.0),
-            CrashSemantics::AtLeastOnce,
-        ));
-        let (mut s, vmas, pds) = crash_workload(cfg);
-        let rep = s.run();
-        assert_eq!(rep.crash.crashes, 1);
-        assert!(rep.crash.killed > 0, "a mid-run crash must interrupt work");
-        assert!(
-            rep.crash.readmitted > 0,
-            "at-least-once re-admits interrupted requests"
-        );
-        assert!(
-            rep.crash.replayed > 0,
-            "recovery replays the journal suffix"
-        );
-        assert!(rep.crash.checkpoints >= 2);
-        // The acceptance bar: recovery loses nothing — the crashed run
-        // completes exactly what the crash-free run with the same seed did.
-        assert_eq!(
-            rep.completed, base.completed,
-            "at-least-once recovery must reach the crash-free completion count"
-        );
-        assert_eq!(rep.faults.failed, 0);
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn worker_crash_at_most_once_fails_what_was_in_flight() {
-        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
-            CrashPlan::worker_at(150.0),
-            CrashSemantics::AtMostOnce,
-        ));
-        let (mut s, vmas, pds) = crash_workload(cfg);
-        let rep = s.run();
-        assert_eq!(rep.crash.crashes, 1);
-        assert_eq!(rep.crash.readmitted, 0);
-        assert!(rep.faults.failed > 0, "interrupted requests must fail");
-        assert!(rep.completed < 4_000);
-        assert_eq!(rep.completed + rep.faults.failed, 4_000);
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn executor_crash_contains_residents_and_recovers() {
-        // Nested calls put suspended parents and queued children on the
-        // crashed executor — both kill paths run.
-        let mut r = FunctionRegistry::new();
-        let leaf =
-            r.register(FunctionSpec::new("leaf").op(FuncOp::Compute(TimeDist::fixed(1_500.0))));
-        let root = r.register(
-            FunctionSpec::new("root")
-                .op(FuncOp::ReadInput)
-                .call(leaf, 128)
-                .op(FuncOp::WriteOutput),
-        );
-        let cfg = RuntimeConfig::jord_32()
-            .with_crash(CrashConfig::new(
-                CrashPlan::executor_at(30.0, 0),
-                CrashSemantics::AtLeastOnce,
-            ))
-            .with_recovery(RecoveryPolicy {
-                max_retries: 5,
-                ..RecoveryPolicy::default()
-            });
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..1_000u64 {
-            s.push_request(SimTime::from_ps(i), root, 256);
-        }
-        let rep = s.run();
-        assert_eq!(rep.crash.crashes, 1);
-        assert!(
-            rep.crash.killed > 0,
-            "executor 0 must host work at the crash"
-        );
-        assert_eq!(
-            rep.completed, 1_000,
-            "every request survives via re-admission or child-failure retry"
-        );
-        assert_eq!(rep.faults.failed, 0);
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn orchestrator_crash_drops_only_queued_work() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
-            CrashPlan::orchestrator_at(100.0, 0),
-            CrashSemantics::AtMostOnce,
-        ));
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        // A burst far beyond capacity keeps the orchestrator deques deep,
-        // so the crash provably finds queued work to kill.
-        for i in 0..4_000u64 {
-            s.push_request(SimTime::from_ps(i), f, 128);
-        }
-        let rep = s.run();
-        assert_eq!(rep.crash.crashes, 1);
-        assert!(
-            rep.crash.killed > 0,
-            "the orchestrator deque must hold work at the crash"
-        );
-        assert!(rep.faults.failed > 0, "at-most-once fails the killed work");
-        assert_eq!(rep.completed + rep.faults.failed, 4_000);
-        assert!(
-            rep.completed > rep.faults.failed,
-            "dispatched work keeps running — only one orchestrator's queue dies"
-        );
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn crash_recovery_is_deterministic() {
-        let run = || {
-            let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::new(
-                CrashPlan::worker_at(250.0),
-                CrashSemantics::AtLeastOnce,
-            ));
-            let (mut s, _, _) = crash_workload(cfg);
-            let rep = s.run();
-            (rep.completed, rep.faults.failed, rep.crash, rep.finished_at)
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn pd_sanitization_pools_pds_and_cuts_setup_latency() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32().with_sanitize(true);
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..1_000u64 {
-            s.push_request(SimTime::from_ns(i * 900), f, 256);
-        }
-        let rep = s.run();
-        assert_eq!(rep.completed, 1_000);
-        assert!(rep.sanitize.full_setups >= 1, "the first setup cannot pool");
-        assert!(
-            rep.sanitize.pooled_setups > rep.sanitize.full_setups,
-            "steady state must be pool-served: {} pooled vs {} full",
-            rep.sanitize.pooled_setups,
-            rep.sanitize.full_setups
-        );
-        assert_eq!(
-            rep.sanitize.sanitizations,
-            rep.sanitize.pooled_setups + rep.sanitize.full_setups
-        );
-        assert!(
-            rep.sanitize.setup_delta_ns() > 0.0,
-            "pooled setup must be cheaper: full {} ns vs pooled {} ns",
-            rep.sanitize.mean_full_ns(),
-            rep.sanitize.mean_pooled_ns()
-        );
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn sanitization_reclaims_leaked_temps() {
-        // The function leaks a temp VMA every run; the sanitize path must
-        // free it explicitly (the snapshot diff alone cannot see it under
-        // bypassed isolation) before pooling the PD.
-        let mut r = FunctionRegistry::new();
-        let f = r.register(
-            FunctionSpec::new("leaky")
-                .op(FuncOp::MmapTemp { bytes: 4096 })
-                .op(FuncOp::Compute(TimeDist::fixed(500.0)))
-                .op(FuncOp::WriteOutput),
-        );
-        let cfg = RuntimeConfig::jord_32().with_sanitize(true);
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let (vmas, pds) = (s.privlib().live_vmas(), s.privlib().live_pds());
-        for i in 0..300u64 {
-            s.push_request(SimTime::from_ns(i * 900), f, 256);
-        }
-        let rep = s.run();
-        assert_eq!(rep.completed, 300);
-        assert!(rep.sanitize.pooled_setups > 0);
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    // ------------------------------------------------------------------
-    // Cluster hooks: tagged notices, cancellation, cross-worker crash
-    // ------------------------------------------------------------------
-
-    #[test]
-    fn tagged_requests_emit_notices_untagged_do_not() {
-        let (r, f) = registry_leaf();
-        let mut s = WorkerServer::new(RuntimeConfig::jord_32(), r).unwrap();
-        for i in 0..5u64 {
-            s.push_tagged_request(SimTime::from_ns(i * 2_000), f, 128, i + 1);
-        }
-        for i in 0..5u64 {
-            s.push_request(SimTime::from_ns(i * 2_000 + 1_000), f, 128);
-        }
-        let rep = s.run();
-        assert_eq!(rep.completed, 10);
-        let notices = s.take_notices();
-        let mut tags: Vec<u64> = notices.iter().map(|n| n.tag).collect();
-        tags.sort_unstable();
-        assert_eq!(
-            tags,
-            vec![1, 2, 3, 4, 5],
-            "one notice per tag, none for untagged"
-        );
-        for n in &notices {
-            match n.outcome {
-                NoticeOutcome::Completed { latency } => {
-                    assert!(latency > SimDuration::ZERO, "leaf work takes time");
-                    assert!(n.at > SimTime::ZERO);
-                }
-                other => panic!("quiet run must complete everything, got {other:?}"),
-            }
-        }
-        assert!(s.take_notices().is_empty(), "take_notices drains");
-    }
-
-    #[test]
-    fn cancel_tagged_unoffers_an_undelivered_arrival() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        for i in 0..20u64 {
-            // Arrivals far enough apart that tag 20 is still undelivered
-            // in the event queue when we cancel it.
-            s.push_tagged_request(SimTime::from_us(i * 10), f, 128, i + 1);
-        }
-        s.begin();
-        assert!(s.cancel_tagged(20), "tag 20 sits undelivered in the queue");
-        assert!(!s.cancel_tagged(20), "a cancelled tag is gone");
-        assert!(!s.cancel_tagged(999), "unknown tags are not found");
-        while s.step() {}
-        let rep = s.seal();
-        // seal() asserts conservation; the cancel must have un-offered.
-        assert_eq!(rep.offered, 19);
-        assert_eq!(rep.completed, 19);
-        let tags: Vec<u64> = s.take_notices().iter().map(|n| n.tag).collect();
-        assert!(
-            !tags.contains(&20),
-            "no terminal notice for a cancelled tag"
-        );
-        assert_eq!(tags.len(), 19);
-    }
-
-    #[test]
-    fn cancel_tagged_reaches_the_orchestrator_deque() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let n = 400u64;
-        for i in 0..n {
-            s.push_tagged_request(SimTime::from_ps(i), f, 128, i + 1);
-        }
-        s.begin();
-        // The arrivals (picosecond spacing) are the earliest n events:
-        // after n steps every request has been admitted, and anything not
-        // yet dispatched sits in an orchestrator's external deque.
-        for _ in 0..n {
-            assert!(s.step());
-        }
-        let queued = s.queued_tags();
-        assert!(
-            !queued.is_empty(),
-            "a 400-request burst must out-run the executor pool"
-        );
-        let victim = queued[0];
-        assert!(s.cancel_tagged(victim), "deque-resident tag is cancellable");
-        while s.step() {}
-        let rep = s.seal();
-        assert_eq!(rep.offered, n - 1);
-        assert_eq!(rep.completed, n - 1);
-        let tags: Vec<u64> = s.take_notices().iter().map(|n| n.tag).collect();
-        assert!(!tags.contains(&victim));
-    }
-
-    #[test]
-    fn crash_for_cluster_strands_everything_unfinished() {
-        let (r, f) = registry_leaf();
-        let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
-        let mut s = WorkerServer::new(cfg, r).unwrap();
-        let vmas = s.privlib().live_vmas();
-        let pds = s.privlib().live_pds();
-        let n = 600u64;
-        for i in 0..n {
-            s.push_tagged_request(SimTime::from_ps(i), f, 128, i + 1);
-        }
-        s.begin();
-        for _ in 0..1_500 {
-            assert!(s.step(), "600 leaf requests take well over 1500 events");
-        }
-        let done_before: Vec<u64> = s.take_notices().iter().map(|n| n.tag).collect();
-        let crash_at = s.next_event_time().expect("work remains");
-        let stranded = s.crash_for_cluster(crash_at);
-
-        // Completed ∪ stranded partitions the offered set exactly.
-        assert!(!stranded.is_empty(), "a mid-burst crash strands work");
-        assert_eq!(done_before.len() + stranded.len(), n as usize);
-        let mut all: Vec<u64> = done_before
-            .iter()
-            .copied()
-            .chain(stranded.iter().map(|sr| sr.tag))
-            .collect();
-        all.sort_unstable();
-        all.dedup();
-        assert_eq!(all.len(), n as usize, "no tag lost or duplicated");
-        for sr in &stranded {
-            assert_eq!(sr.func, f);
-            assert_eq!(sr.bytes, 128);
-        }
-
-        // The dispatcher re-routes stranded work elsewhere; here we play
-        // both roles and hand it back to the same (rebooted) worker.
-        for (i, sr) in stranded.iter().enumerate() {
-            s.push_tagged_request(
-                crash_at + SimDuration::from_ns(i as u64),
-                sr.func,
-                sr.bytes,
-                sr.tag,
-            );
-        }
-        while s.step() {}
-        let rep = s.seal();
-        assert_eq!(rep.crash.crashes, 1);
-        assert!(rep.crash.killed > 0, "a mid-burst crash interrupts work");
-        assert_eq!(rep.completed, n, "rebooted worker finishes the strandees");
-        assert_eq!(rep.offered, rep.completed);
-        assert!(
-            rep.crash.journal_records > 0 && rep.crash.checkpoints >= 2,
-            "retired journal history must fold into the sealed report"
-        );
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn crash_before_the_first_cadence_checkpoint_recovers() {
-        // Satellite: with a cadence so long that only begin()'s initial
-        // checkpoint exists, an early crash must replay the entire
-        // journal prefix from that initial checkpoint and lose nothing.
-        let cfg = RuntimeConfig::jord_32().with_crash(
-            CrashConfig::new(CrashPlan::worker_at(2.0), CrashSemantics::AtLeastOnce)
-                .checkpoint_every(1_000_000),
-        );
-        let (mut s, vmas, pds) = crash_workload(cfg);
-        let rep = s.run();
-        assert_eq!(rep.crash.crashes, 1);
-        assert_eq!(
-            rep.crash.checkpoints, 2,
-            "initial checkpoint plus the post-recovery one, no cadence"
-        );
-        assert!(rep.crash.replayed > 0, "everything replays from t=0");
-        assert_eq!(rep.completed, 4_000, "at-least-once loses nothing");
-        assert_eq!(rep.faults.failed, 0);
-        assert_contained(&s, &rep, vmas, pds);
-    }
-
-    #[test]
-    fn checkpoint_cadence_one_matches_the_default_cadence() {
-        // Satellite: checkpoint frequency is a pure performance knob —
-        // recovery outcomes are identical whether the journal suffix is
-        // one record or sixty-four.
-        let run_with = |every: usize| {
-            let cfg = RuntimeConfig::jord_32().with_crash(
-                CrashConfig::new(CrashPlan::worker_at(150.0), CrashSemantics::AtLeastOnce)
-                    .checkpoint_every(every),
-            );
-            let (mut s, _, _) = crash_workload(cfg);
-            s.run()
-        };
-        let fine = run_with(1);
-        let coarse = run_with(64);
-        assert_eq!(fine.completed, coarse.completed);
-        assert_eq!(fine.offered, coarse.offered);
-        assert_eq!(fine.faults.failed, coarse.faults.failed);
-        assert_eq!(fine.crash.crashes, 1);
-        assert!(
-            fine.crash.checkpoints > coarse.crash.checkpoints,
-            "cadence 1 checkpoints far more often ({} vs {})",
-            fine.crash.checkpoints,
-            coarse.crash.checkpoints
-        );
-    }
-
-    #[test]
-    fn manual_stepping_matches_run() {
-        // The cluster drives workers with begin/step/seal; a solo worker
-        // uses run(). Both must produce the same world.
-        let (r, f) = registry_leaf();
-        let mk = || {
-            let cfg = RuntimeConfig::jord_32().with_crash(CrashConfig::journal_only());
-            let mut s = WorkerServer::new(cfg, r.clone()).unwrap();
-            for i in 0..500u64 {
-                s.push_tagged_request(SimTime::from_ns(i * 300), f, 128, i + 1);
-            }
-            s
-        };
-        let mut auto = mk();
-        let auto_rep = auto.run();
-        let mut manual = mk();
-        manual.begin();
-        while manual.step() {}
-        let manual_rep = manual.seal();
-        assert_eq!(auto_rep.completed, manual_rep.completed);
-        assert_eq!(auto_rep.offered, manual_rep.offered);
-        assert_eq!(auto_rep.finished_at, manual_rep.finished_at);
-        assert_eq!(
-            auto_rep.crash.journal_records,
-            manual_rep.crash.journal_records
-        );
-        assert_eq!(auto.take_notices(), manual.take_notices());
     }
 }

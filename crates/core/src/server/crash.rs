@@ -1,0 +1,645 @@
+//! Crash injection, journal-replay recovery, and the cluster failover
+//! hooks: the [`WorkerServer`] methods that kill components, prove the
+//! replayed journal against its live witnesses, reboot the pristine
+//! process image, and hand stranded work to the tier above. A child
+//! module of `server`, so it shares the same privacy domain without
+//! growing the hot-path module.
+
+use jord_hw::types::{CoreId, PdId};
+use jord_hw::CrashScope;
+use jord_sim::{SimDuration, SimTime};
+
+use crate::events::{AbortCause, LifecycleEvent, RetryKind};
+use crate::invocation::{Invocation, InvocationId, Origin, Phase};
+use crate::journal::{PendingRetry, RecoveredState, WorkerCheckpoint};
+use crate::lifecycle::InvocationState;
+use crate::recovery::CrashSemantics;
+
+use super::{Event, StrandedRequest, WorkerServer};
+
+impl WorkerServer {
+    // ------------------------------------------------------------------
+    // Crash injection + recovery (journal, checkpoints, reboot)
+    // ------------------------------------------------------------------
+
+    /// In-flight semantics across crashes (at-least-once when no crash
+    /// config exists — the paths below only run when one does).
+    fn crash_semantics(&self) -> CrashSemantics {
+        self.cfg
+            .crash
+            .map(|c| c.semantics)
+            .unwrap_or(CrashSemantics::AtLeastOnce)
+    }
+
+    /// Downtime of a crashed component before it serves again.
+    fn restart_penalty(&self) -> SimDuration {
+        SimDuration::from_ns_f64(
+            self.cfg.crash.map(|c| c.restart_penalty_us).unwrap_or(0.0) * 1_000.0,
+        )
+    }
+
+    /// Checkpoints after `checkpoint_every` journal records accumulate.
+    pub(super) fn maybe_checkpoint(&mut self, t: SimTime) {
+        let Some(cc) = self.cfg.crash else { return };
+        if self.bus.due_checkpoint(cc.checkpoint_every) {
+            self.take_checkpoint(t);
+        }
+    }
+
+    /// Snapshots the worker's hot state: the report, RNG streams, warmup
+    /// progress, the journal's live tables, and the VMA-table image whose
+    /// durable footprint a post-crash reboot must reproduce. Checkpointing
+    /// is free in simulated time (a real implementation would write it
+    /// off the critical path).
+    pub(super) fn take_checkpoint(&mut self, t: SimTime) {
+        let Some(img) = self.bus.checkpoint_image() else {
+            return;
+        };
+        let cp = WorkerCheckpoint {
+            taken_at: t,
+            at_record: img.at_record,
+            report: img.report,
+            rng: self.rng.clone(),
+            injector: self.injector.clone(),
+            warmed: img.warmed,
+            in_flight: img.in_flight,
+            pending: img.pending,
+            vma: self.privlib.table_snapshot(),
+            free_slots: self.privlib.free_slot_counts(),
+            live_pds: self.privlib.live_pd_ids(),
+            queue_depths: self
+                .orchs
+                .iter()
+                .map(|o| (o.external.len(), o.internal.len()))
+                .collect(),
+        };
+        self.checkpoint = Some(cp);
+    }
+
+    /// Fires the armed crash at `t` (an event boundary, so every live
+    /// invocation is exactly Queued, Suspended, or Faulted).
+    pub(super) fn crash_now(&mut self, t: SimTime, scope: CrashScope) {
+        self.emit(LifecycleEvent::Crashed {
+            scope: scope.label(),
+        });
+        match scope {
+            CrashScope::Executor(e) => self.crash_executor(t, e),
+            CrashScope::Orchestrator(o) => self.crash_orchestrator(t, o),
+            CrashScope::Worker => self.crash_worker(t),
+        }
+    }
+
+    /// Settles a crash-killed external request per the semantics knob
+    /// (re-admit or fail); crash-killed internal work propagates failure
+    /// to the parent like any faulted child. `inv` is already out of the
+    /// slab.
+    pub(super) fn conclude_crashed(
+        &mut self,
+        t: SimTime,
+        core: CoreId,
+        inv: Invocation,
+        id: InvocationId,
+    ) {
+        match inv.origin {
+            Origin::External { orch, arrival } => {
+                // Never-dispatched requests (still in an orchestrator
+                // deque) were not counted in flight.
+                if inv.executor != usize::MAX {
+                    self.orchs[orch].in_flight -= 1;
+                }
+                match self.crash_semantics() {
+                    CrashSemantics::AtLeastOnce => {
+                        // Re-admission is not the request's fault: it keeps
+                        // its attempt count and shows up in
+                        // `crash.readmitted`, not `faults.retries`.
+                        let due = t + self.restart_penalty();
+                        let token = self.lifecycle.alloc_token();
+                        self.emit(LifecycleEvent::RetryScheduled {
+                            req: inv.req,
+                            id,
+                            token,
+                            retry: PendingRetry {
+                                func: inv.func,
+                                bytes: inv.argbuf.len(),
+                                arrival,
+                                attempt: inv.attempt,
+                                tag: inv.tag,
+                                due,
+                            },
+                            kind: RetryKind::CrashReadmit,
+                            measured: false,
+                        });
+                        self.queue.push(
+                            due,
+                            Event::Retry {
+                                req: inv.req,
+                                func: inv.func,
+                                bytes: inv.argbuf.len(),
+                                arrival,
+                                attempt: inv.attempt,
+                                token,
+                                tag: inv.tag,
+                            },
+                        );
+                    }
+                    CrashSemantics::AtMostOnce => {
+                        let measured = self.measuring();
+                        self.emit(LifecycleEvent::Failed {
+                            req: inv.req,
+                            id,
+                            tag: inv.tag,
+                            at: t,
+                            measured,
+                            notify: true,
+                        });
+                    }
+                }
+            }
+            Origin::Internal { parent, .. } => {
+                self.deliver_child_result(t, core, parent, id, inv.argbuf, true);
+            }
+        }
+    }
+
+    /// Kills executor `e`: every invocation resident on it dies. Queued
+    /// work never started (reclaim its ArgBuf, settle per semantics);
+    /// suspended continuations tear down through the abort path with the
+    /// `crash_kill` flag steering their conclusion.
+    fn crash_executor(&mut self, t: SimTime, e: usize) {
+        let core = self.execs[e].core;
+        let mut killed = 0u64;
+        for id in self.slab.ids() {
+            // An earlier kill in this sweep may have concluded this entry
+            // (a queued child draining its crash-killed parent).
+            if !self.slab.contains(id) {
+                continue;
+            }
+            let (exec_idx, phase, pd_active) = {
+                let inv = self.slab.get(id);
+                (inv.executor, inv.phase, inv.pd_active)
+            };
+            if exec_idx != e || phase == Phase::Faulted {
+                continue;
+            }
+            killed += 1;
+            if pd_active {
+                self.slab.get_mut(id).crash_kill = true;
+                self.abort(t, SimDuration::ZERO, e, id, AbortCause::Crash);
+            } else {
+                let inv = self.slab.remove(id);
+                // Externals own their ingested ArgBuf; internal buffers
+                // travel back to the parent via conclude_crashed.
+                if matches!(inv.origin, Origin::External { .. }) && inv.argbuf.va() != 0 {
+                    self.privlib
+                        .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
+                        .expect("crashed ArgBuf reclaim");
+                }
+                self.conclude_crashed(t, core, inv, id);
+            }
+        }
+        self.emit(LifecycleEvent::CrashKilled { count: killed });
+        self.execs[e].queue.clear();
+        self.execs[e].ready.clear();
+        self.execs[e].next_free = t + self.restart_penalty();
+    }
+
+    /// Kills orchestrator `o`: only its *queued* work dies — requests it
+    /// already dispatched keep running on their executors. Externals settle
+    /// per semantics; internals propagate failure to their parents.
+    fn crash_orchestrator(&mut self, t: SimTime, o: usize) {
+        let core = self.orchs[o].core;
+        let externals: Vec<InvocationId> = self.orchs[o].external.drain(..).collect();
+        let internals: Vec<InvocationId> = self.orchs[o].internal.drain(..).collect();
+        self.emit(LifecycleEvent::CrashKilled {
+            count: (externals.len() + internals.len()) as u64,
+        });
+        for id in externals {
+            let inv = self.slab.remove(id);
+            // A requeued request may already hold an ingested ArgBuf.
+            if inv.argbuf.va() != 0 {
+                self.privlib
+                    .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
+                    .expect("crashed ArgBuf reclaim");
+            }
+            self.conclude_crashed(t, core, inv, id);
+        }
+        for id in internals {
+            let inv = self.slab.remove(id);
+            let Origin::Internal { parent, .. } = inv.origin else {
+                unreachable!("internal deque holds only internal requests");
+            };
+            self.deliver_child_result(t, core, parent, id, inv.argbuf, true);
+        }
+        self.orchs[o].next_free = t + self.restart_penalty();
+    }
+
+    /// Replays the journal suffix over `checkpoint` and proves the
+    /// replayed tables against three independent witnesses: the journal's
+    /// live tables, the slab's external population, and the lifecycle
+    /// engine's request rows.
+    fn replay_and_prove(&mut self, checkpoint: &WorkerCheckpoint) -> RecoveredState {
+        let (recovered, live_in_flight, live_pending) = {
+            let j = self
+                .bus
+                .journal()
+                .expect("worker crash requires the journal");
+            let rec = j.replay(checkpoint);
+            (
+                rec,
+                j.in_flight().keys().copied().collect::<Vec<_>>(),
+                j.pending().keys().copied().collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(
+            recovered.in_flight.keys().copied().collect::<Vec<_>>(),
+            live_in_flight,
+            "replayed in-flight table must match the journal's live table"
+        );
+        assert_eq!(
+            recovered.pending.keys().copied().collect::<Vec<_>>(),
+            live_pending,
+            "replayed pending-retry table must match the journal's live table"
+        );
+        let mut slab_externals: Vec<usize> = self
+            .slab
+            .iter()
+            .filter(|(_, inv)| matches!(inv.origin, Origin::External { .. }))
+            .map(|(id, _)| id.0)
+            .collect();
+        slab_externals.sort_unstable();
+        assert_eq!(
+            live_in_flight, slab_externals,
+            "journal in-flight table must mirror the slab's external population"
+        );
+        assert_eq!(
+            self.lifecycle.live_slab_ids(),
+            live_in_flight,
+            "lifecycle engine's admitted rows must mirror the journal's in-flight table"
+        );
+        assert_eq!(
+            self.lifecycle.live_tokens(),
+            live_pending,
+            "lifecycle engine's retry-wait rows must mirror the journal's pending table"
+        );
+        self.emit(LifecycleEvent::Replayed {
+            records: recovered.replayed,
+        });
+        recovered
+    }
+
+    /// Reboots the pristine process image and checks it reproduces the
+    /// checkpoint's durable (privileged/global) mappings bit-for-bit.
+    fn reboot(&mut self, checkpoint: &WorkerCheckpoint) {
+        let parts =
+            Self::boot_parts(&self.cfg, &self.registry).expect("reboot of a validated config");
+        self.machine = parts.machine;
+        self.privlib = parts.privlib;
+        self.code_vmas = parts.code_vmas;
+        self.privlib_code = parts.privlib_code;
+        self.orchs = parts.orchs;
+        self.execs = parts.execs;
+        self.admission.reset_routing();
+        assert_eq!(
+            self.privlib.table_snapshot().durable_footprint(),
+            checkpoint.vma.durable_footprint(),
+            "reboot must reproduce the checkpoint's durable mappings"
+        );
+        for (class, (&now_free, &cp_free)) in self
+            .privlib
+            .free_slot_counts()
+            .iter()
+            .zip(checkpoint.free_slots.iter())
+            .enumerate()
+        {
+            assert!(
+                now_free >= cp_free,
+                "size class {class}: rebooted free slots {now_free} < checkpoint's {cp_free}"
+            );
+        }
+    }
+
+    /// Kills the whole worker process and recovers it: replay the journal
+    /// suffix over the latest checkpoint (proving the replayed tables
+    /// against the journal's live tables, the slab, and the lifecycle
+    /// engine), reboot a pristine process image (validating its durable
+    /// VMA footprint against the checkpoint's), restore the replayed
+    /// ledger, and settle every interrupted request per the semantics
+    /// knob.
+    fn crash_worker(&mut self, t: SimTime) {
+        let cc = self
+            .cfg
+            .crash
+            .expect("worker crash requires a crash config");
+        let checkpoint = self
+            .checkpoint
+            .clone()
+            .expect("journaled runs checkpoint at start");
+        self.emit(LifecycleEvent::CrashKilled {
+            count: self.slab.len() as u64,
+        });
+
+        let recovered = self.replay_and_prove(&checkpoint);
+
+        // The process dies: every continuation, queue entry, and pooled PD
+        // evaporates. Undelivered network arrivals are the only survivors —
+        // they exist outside the crashed process.
+        self.slab.clear();
+        for pool in &mut self.pd_pools {
+            pool.clear();
+        }
+        let survivors: Vec<(SimTime, Event)> = self
+            .queue
+            .drain()
+            .into_iter()
+            .filter(|(_, ev)| matches!(ev, Event::Arrival { .. }))
+            .collect();
+        for (at, ev) in survivors {
+            self.queue.push(at, ev);
+        }
+
+        self.reboot(&checkpoint);
+
+        // Restore the replayed ledger and the checkpointed RNG streams.
+        self.bus.restore(recovered.report, recovered.warmed);
+        self.rng = checkpoint.rng.clone();
+        self.injector = checkpoint.injector.clone();
+
+        // Settle interrupted work.
+        let restart = t + self.restart_penalty();
+        match cc.semantics {
+            CrashSemantics::AtLeastOnce => {
+                // In-flight requests re-enter once the worker restarts;
+                // already-pending retries keep their token (and journal
+                // record) and fire no earlier than the restart.
+                for p in recovered.in_flight.values() {
+                    let req = self
+                        .lifecycle
+                        .req_of_slab(p.id)
+                        .expect("every replayed in-flight entry has a request row");
+                    let token = self.lifecycle.alloc_token();
+                    self.emit(LifecycleEvent::RetryScheduled {
+                        req,
+                        id: p.id,
+                        token,
+                        retry: PendingRetry {
+                            func: p.func,
+                            bytes: p.bytes,
+                            arrival: p.arrival,
+                            attempt: p.attempt,
+                            tag: p.tag,
+                            due: restart,
+                        },
+                        kind: RetryKind::CrashReadmit,
+                        measured: false,
+                    });
+                    self.queue.push(
+                        restart,
+                        Event::Retry {
+                            req,
+                            func: p.func,
+                            bytes: p.bytes,
+                            arrival: p.arrival,
+                            attempt: p.attempt,
+                            token,
+                            tag: p.tag,
+                        },
+                    );
+                }
+                for (&token, r) in recovered.pending.iter() {
+                    // The row is already RetryWait (the RetryScheduled that
+                    // created the token survived in the journal), so only
+                    // the timer event is re-armed — no new transition.
+                    let req = self
+                        .lifecycle
+                        .req_of_token(token)
+                        .expect("every replayed pending entry has a request row");
+                    self.queue.push(
+                        r.due.max(restart),
+                        Event::Retry {
+                            req,
+                            func: r.func,
+                            bytes: r.bytes,
+                            arrival: r.arrival,
+                            attempt: r.attempt,
+                            token,
+                            tag: r.tag,
+                        },
+                    );
+                }
+            }
+            CrashSemantics::AtMostOnce => {
+                // Every interrupted request — in flight or awaiting a
+                // retry — terminally fails. Interrupted work reports
+                // through the ledger only (no notices): the tier above
+                // learns about it from the stranded-request path.
+                for p in recovered.in_flight.values() {
+                    let measured = self.measuring();
+                    let req = self
+                        .lifecycle
+                        .req_of_slab(p.id)
+                        .expect("every replayed in-flight entry has a request row");
+                    self.emit(LifecycleEvent::Failed {
+                        req,
+                        id: p.id,
+                        tag: p.tag,
+                        at: t,
+                        measured,
+                        notify: false,
+                    });
+                }
+                for &token in recovered.pending.keys() {
+                    let measured = self.measuring();
+                    let req = self
+                        .lifecycle
+                        .req_of_token(token)
+                        .expect("every replayed pending entry has a request row");
+                    self.emit(LifecycleEvent::RetryDropped {
+                        req,
+                        token,
+                        measured,
+                    });
+                }
+            }
+        }
+        // Re-checkpoint immediately: a second crash must replay against
+        // the rebooted image, not pre-crash state.
+        self.take_checkpoint(restart);
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster hooks: tagged cancellation, drain inspection, failover
+    // ------------------------------------------------------------------
+
+    /// Request states the tier above may still withdraw: an undelivered
+    /// network arrival (`Offered`) or a copy queued in an orchestrator
+    /// deque (`Queued`). Anything later is already running.
+    const CANCELLABLE: [InvocationState; 2] = [InvocationState::Offered, InvocationState::Queued];
+
+    /// Tags of every tagged external request that has not yet been
+    /// dispatched to an executor: undelivered network arrivals plus
+    /// requests still sitting in an orchestrator deque. A cluster drain
+    /// pulls these to rebalance them onto other workers. Read straight
+    /// off the lifecycle engine's request table — the same rows
+    /// [`cancel_tagged`](Self::cancel_tagged) and
+    /// [`crash_for_cluster`](Self::crash_for_cluster) operate on.
+    pub fn queued_tags(&self) -> Vec<u64> {
+        self.lifecycle
+            .tagged_in(&Self::CANCELLABLE)
+            .map(|row| row.tag)
+            .collect()
+    }
+
+    /// Best-effort cancellation of the tagged request copy on this
+    /// worker. Only a copy that has not been dispatched yet can be
+    /// cancelled: an undelivered network arrival, or a request still
+    /// queued in an orchestrator deque. A running copy is left to
+    /// finish — the cluster counts its eventual notice as a duplicate.
+    /// Cancellation un-offers the request so the worker-level
+    /// conservation invariant (`offered == completed + failed + shed`)
+    /// keeps holding without a terminal notice.
+    pub fn cancel_tagged(&mut self, tag: u64) -> bool {
+        debug_assert_ne!(tag, 0, "tag 0 means untagged");
+        let Some(row) = self.lifecycle.find_tagged(tag, &Self::CANCELLABLE) else {
+            return false;
+        };
+        match row.state {
+            InvocationState::Offered => {
+                // An undelivered arrival: no invocation exists yet, so the
+                // withdrawal only unwinds the ledger (nothing was
+                // journaled).
+                let removed = self
+                    .queue
+                    .remove_first(|ev| matches!(ev, Event::Arrival { req, .. } if *req == row.req));
+                debug_assert!(
+                    removed.is_some(),
+                    "an Offered row always has its arrival in the event queue"
+                );
+                self.emit(LifecycleEvent::Cancelled {
+                    req: row.req,
+                    id: None,
+                    tag,
+                });
+            }
+            InvocationState::Queued => {
+                // A queued, never-dispatched copy in an orchestrator
+                // deque: remove it, reclaim its ArgBuf, and journal the
+                // cancellation so a later replay un-offers it the same
+                // way.
+                let id = row.slab.expect("a Queued row has a slab entry");
+                let Origin::External { orch, .. } = self.slab.get(id).origin else {
+                    unreachable!("request rows track external invocations only");
+                };
+                let pos = self.orchs[orch]
+                    .external
+                    .iter()
+                    .position(|&qid| qid == id)
+                    .expect("a Queued row sits in its orchestrator's deque");
+                self.orchs[orch]
+                    .external
+                    .remove(pos)
+                    .expect("position is in range");
+                let inv = self.slab.remove(id);
+                let core = self.orchs[orch].core;
+                if inv.argbuf.va() != 0 {
+                    self.privlib
+                        .munmap(&mut self.machine, core, inv.argbuf.va(), PdId::RUNTIME)
+                        .expect("cancelled ArgBuf reclaim");
+                }
+                self.emit(LifecycleEvent::Cancelled {
+                    req: row.req,
+                    id: Some(id),
+                    tag,
+                });
+            }
+            state => unreachable!("CANCELLABLE rows are Offered or Queued, not {state:?}"),
+        }
+        true
+    }
+
+    /// Kills and recovers this worker on behalf of a cluster dispatcher.
+    ///
+    /// Same recovery discipline as a standalone worker crash — replay
+    /// the journal suffix over the latest checkpoint (proving the
+    /// replayed tables against the live tables and the slab), reboot a
+    /// pristine image, validate its durable VMA footprint — but instead
+    /// of settling interrupted requests locally, every tagged request
+    /// the crash stranded (in flight, awaiting a local retry, or still
+    /// undelivered in the network queue) is returned to the caller so
+    /// the dispatcher can re-route or fail it cluster-wide.
+    ///
+    /// The worker restarts empty: fresh journal (the old one's records
+    /// are retired into the report counters), fresh checkpoint, and
+    /// `offered` rebased to the terminal counters so the conservation
+    /// invariant holds even though cluster arrivals are pushed
+    /// dynamically rather than pre-loaded.
+    pub fn crash_for_cluster(&mut self, t: SimTime) -> Vec<StrandedRequest> {
+        let checkpoint = self
+            .checkpoint
+            .clone()
+            .expect("journaled runs checkpoint at start");
+        self.emit(LifecycleEvent::Crashed {
+            scope: "cluster-worker",
+        });
+        self.emit(LifecycleEvent::CrashKilled {
+            count: self.slab.len() as u64,
+        });
+
+        // Replay and prove, exactly as in `crash_worker`.
+        let recovered = self.replay_and_prove(&checkpoint);
+
+        // Everything in the process dies. Unlike a standalone crash,
+        // undelivered arrivals do not survive in place: the outside
+        // world is the dispatcher, which re-routes them.
+        self.slab.clear();
+        for pool in &mut self.pd_pools {
+            pool.clear();
+        }
+        let _ = self.queue.drain();
+
+        // Every unfinished request — undelivered arrival (`Offered`),
+        // queued/in-flight (`Queued`/`InFlight`), or awaiting a local
+        // retry (`RetryWait`) — reads straight out of the lifecycle
+        // engine's request table; draining it leaves the rebooted worker
+        // with an empty ledger. Undelivered arrivals re-anchor at the
+        // crash instant (they had not been received by the dead process).
+        let mut stranded: Vec<StrandedRequest> = Vec::new();
+        for row in self.lifecycle.drain_rows() {
+            if row.state != InvocationState::Offered {
+                debug_assert_ne!(row.tag, 0, "cluster-mode requests are always tagged");
+            }
+            if row.tag == 0 {
+                continue;
+            }
+            stranded.push(StrandedRequest {
+                tag: row.tag,
+                func: row.func,
+                bytes: row.bytes,
+                arrival: if row.state == InvocationState::Offered {
+                    t
+                } else {
+                    row.arrival
+                },
+            });
+        }
+
+        self.reboot(&checkpoint);
+
+        // Restore the replayed ledger. Cluster arrivals are pushed
+        // dynamically (never pre-loaded), so the checkpointed `offered`
+        // undercounts by whatever was in the network at checkpoint
+        // time; the stranded requests leave this worker's books
+        // entirely, so rebase `offered` on the terminal counters.
+        self.bus.restore_rebased(recovered.report, recovered.warmed);
+        self.rng = checkpoint.rng.clone();
+        self.injector = checkpoint.injector.clone();
+
+        // Retire the dead process's journal into the cumulative
+        // counters and start a fresh one for the rebooted image: the
+        // stranded requests are the dispatcher's problem now, so the
+        // new journal's live tables are rightly empty.
+        self.bus.retire_journal();
+        self.checkpoint = None;
+        self.take_checkpoint(t);
+        stranded
+    }
+}

@@ -290,6 +290,14 @@ impl RunReport {
         }
     }
 
+    /// True when the request ledger balances:
+    /// `offered == completed + faults.failed + faults.sheds`. Every
+    /// request must end Completed, Faulted, or Shed — a `false` here means
+    /// a lifecycle transition lost a request.
+    pub fn balanced(&self) -> bool {
+        self.offered == self.completed + self.faults.failed + self.faults.sheds
+    }
+
     /// Goodput: the fraction of offered requests that completed
     /// successfully (1.0 on a clean run, lower under injection).
     pub fn goodput(&self) -> f64 {

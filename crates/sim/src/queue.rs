@@ -134,6 +134,28 @@ impl<E> EventQueue<E> {
         entries.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
         entries.into_iter().map(|e| (e.time, e.event)).collect()
     }
+
+    /// Removes and returns the first pending event (in pop order) matching
+    /// `pred`, leaving every other event scheduled in its original relative
+    /// order. Returns `None` if nothing matches.
+    ///
+    /// This is the cancellation hook: a cluster dispatcher withdrawing an
+    /// undelivered request pulls exactly its arrival event out of the
+    /// future-event list without disturbing the rest of the schedule.
+    pub fn remove_first(&mut self, pred: impl Fn(&E) -> bool) -> Option<(SimTime, E)> {
+        if !self.heap.iter().any(|e| pred(&e.event)) {
+            return None;
+        }
+        let mut removed = None;
+        for (t, ev) in self.drain() {
+            if removed.is_none() && pred(&ev) {
+                removed = Some((t, ev));
+            } else {
+                self.push(t, ev);
+            }
+        }
+        removed
+    }
 }
 
 impl<E> Default for EventQueue<E> {

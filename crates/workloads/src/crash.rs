@@ -54,6 +54,11 @@ pub struct CrashPoint {
     pub checkpoints: u64,
     /// Total journal records appended.
     pub journal_records: u64,
+    /// FNV-1a hash of the run's full lifecycle-event stream (the event
+    /// bus's golden trace). Equal hashes mean event-for-event identical
+    /// runs, so reproducibility checks compare whole histories, not just
+    /// aggregate counters.
+    pub trace_hash: u64,
     /// Goodput: completed / offered.
     pub goodput: f64,
 }
@@ -203,11 +208,21 @@ impl CrashCampaign {
         }
         let rep = server.run();
 
+        // Every run must have flowed through the lifecycle event bus.
+        assert!(
+            server.trace_len() > 0,
+            "{scope}: the event bus published no lifecycle events"
+        );
+
         // Ledger and containment invariants, at every point.
-        assert_eq!(
+        assert!(
+            rep.balanced(),
+            "{scope}: requests lost across the crash boundary \
+             (offered {} != completed {} + failed {} + sheds {})",
             rep.offered,
-            rep.completed + rep.faults.failed + rep.faults.sheds,
-            "{scope}: requests lost across the crash boundary"
+            rep.completed,
+            rep.faults.failed,
+            rep.faults.sheds,
         );
         assert_eq!(server.live_invocations(), 0, "{scope}: invocations leaked");
         assert_eq!(
@@ -234,6 +249,7 @@ impl CrashCampaign {
             replayed: rep.crash.replayed,
             checkpoints: rep.crash.checkpoints,
             journal_records: rep.crash.journal_records,
+            trace_hash: server.trace_hash(),
             goodput: rep.goodput(),
         }
     }

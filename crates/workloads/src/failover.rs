@@ -10,7 +10,7 @@
 //! path), and hedged dispatch of slow-tail requests. Every point asserts
 //! the cluster conservation invariant
 //! `offered == completed + failed + shed` with
-//! [`FailoverStats::lost`]` == 0`, and the kill point under at-least-once
+//! [`jord_core::FailoverStats::lost`]` == 0`, and the kill point under at-least-once
 //! semantics additionally asserts:
 //!
 //! 1. **Exact parity**: the kill run completes exactly as many requests
