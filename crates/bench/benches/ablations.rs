@@ -60,7 +60,7 @@ fn main() {
             );
             cfg.queue_bound = k;
             let mut server = jord_core::WorkerServer::new(cfg, w.registry.clone()).unwrap();
-            let mut gen = jord_workloads::LoadGen::new(&w, 42);
+            let mut gen = jord_workloads::LoadGen::new(&w, 42).unwrap();
             server.set_warmup(warmup as u64);
             for (t, f, b) in gen.arrivals(mrps * 1e6, n + warmup) {
                 server.push_request(t, f, b);

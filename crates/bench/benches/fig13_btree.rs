@@ -73,7 +73,9 @@ fn vma_mgmt_time(choice: TableChoice) -> f64 {
 fn main() {
     let n = requests_per_point();
     let w = Workload::build(WorkloadKind::Hotel);
-    let slo = measure_slo(&w, 0.05e6, (n / 4).max(500)).as_us_f64();
+    let slo = measure_slo(&w, 0.05e6, (n / 4).max(500))
+        .expect("probe produced latencies")
+        .as_us_f64();
 
     header(&format!(
         "Figure 13: Hotel — p99 latency (us) vs load (MRPS); SLO = {slo:.1} us"
@@ -117,7 +119,7 @@ fn main() {
     let mk = |variant: SystemVariant| {
         let cfg = RuntimeConfig::variant_on(variant, MachineConfig::isca25());
         let mut s = WorkerServer::new(cfg, w.registry.clone()).unwrap();
-        let mut gen = jord_workloads::LoadGen::new(&w, 42);
+        let mut gen = jord_workloads::LoadGen::new(&w, 42).unwrap();
         for (t, f, b) in gen.arrivals(3.0e6, n) {
             s.push_request(t, f, b);
         }

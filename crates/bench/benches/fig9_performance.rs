@@ -28,7 +28,7 @@ fn main() {
 
     for kind in WorkloadKind::ALL {
         let w = Workload::build(kind);
-        let slo = measure_slo(&w, 0.05e6, (n / 4).max(500));
+        let slo = measure_slo(&w, 0.05e6, (n / 4).max(500)).expect("probe produced latencies");
         let slo_us = slo.as_us_f64();
         header(&format!(
             "Figure 9: {} — p99 latency (us) vs load (MRPS); SLO = {slo_us:.1} us",

@@ -4,7 +4,7 @@ use jord_workloads::*;
 fn main() {
     for kind in WorkloadKind::ALL {
         let w = Workload::build(kind);
-        let slo = measure_slo(&w, 0.05e6, 2000);
+        let slo = measure_slo(&w, 0.05e6, 2000).expect("probe produced latencies");
         eprintln!(
             "== {} | SLO {:.1} us | inv/req {:.1}",
             w.name(),

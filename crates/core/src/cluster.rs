@@ -26,17 +26,31 @@
 //! - **Graceful drain**: a draining worker admits nothing new, its
 //!   queued (undispatched) requests are rebalanced to peers, and its
 //!   in-flight work finishes normally.
+//! - **Autoscaling**: with [`ClusterConfig::autoscale`] set, a
+//!   [`ClusterAutoscaler`] evaluates windowed SLO signals on a fixed
+//!   cadence and the dispatcher applies its directives — booting fresh
+//!   workers (pristine image, warm PD pools) on scale-up, retiring
+//!   workers through the drain-aware rebalancing path on scale-down,
+//!   and imposing the brownout level on every live worker's admission
+//!   policy. The decision sequence is recorded as [`WindowRecord`]s in
+//!   the [`ClusterReport`], and the per-worker trace hashes fold into a
+//!   fleet hash — identical seeds reproduce identical decisions and
+//!   traces.
 
 use jord_hw::{FaultInjector, InjectConfig, PartitionWindow};
 use jord_sim::{EventQueue, LatencyHistogram, Rng, SimDuration, SimTime};
 
+use crate::admission::BrownoutLevel;
+use crate::autoscaler::{
+    AutoscalerConfig, ClusterAutoscaler, Directive, ScaleDecision, WindowSignals,
+};
 use crate::config::{ConfigError, RuntimeConfig};
 use crate::events::{NoticeOutcome, WorkerNotice};
 use crate::function::{FunctionId, FunctionRegistry};
 use crate::health::{DetectorConfig, PhiAccrual, WorkerHealth};
 use crate::recovery::{CrashConfig, CrashSemantics};
 use crate::server::WorkerServer;
-use crate::stats::{FailoverStats, RunReport};
+use crate::stats::{AutoscaleStats, FailoverStats, RunReport};
 
 /// Hedged-dispatch tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,12 +119,16 @@ pub struct ClusterConfig {
     pub hedge: Option<HedgeConfig>,
     /// A scripted worker kill, if any.
     pub kill: Option<WorkerKill>,
-    /// A scripted graceful drain, if any.
-    pub drain: Option<DrainPlan>,
+    /// Scripted graceful drains (any number of workers, any schedule).
+    pub drains: Vec<DrainPlan>,
     /// Probability an individual heartbeat is lost in the network.
     pub heartbeat_loss_rate: f64,
     /// A scripted heartbeat blackout, if any.
     pub partition: Option<PartitionPlan>,
+    /// SLO-driven autoscaling, if enabled. `workers` is then the
+    /// *initial* fleet size; the autoscaler moves it within
+    /// [`AutoscalerConfig::min_workers`]..=[`AutoscalerConfig::max_workers`].
+    pub autoscale: Option<AutoscalerConfig>,
 }
 
 impl ClusterConfig {
@@ -126,9 +144,10 @@ impl ClusterConfig {
             restart_penalty_us: 50.0,
             hedge: None,
             kill: None,
-            drain: None,
+            drains: Vec::new(),
             heartbeat_loss_rate: 0.0,
             partition: None,
+            autoscale: None,
         }
     }
 
@@ -165,17 +184,21 @@ impl ClusterConfig {
             }
         }
         if let Some(k) = &self.kill {
-            if k.worker >= self.workers {
+            // With autoscaling on, a kill may target a slot the autoscaler
+            // has yet to spawn (the scale-down/crash race is scripted this
+            // way); if the fleet never grows that far, the kill misses.
+            let kill_bound = self.autoscale.map_or(self.workers, |a| a.max_workers);
+            if k.worker >= kill_bound {
                 return bad(format!(
-                    "kill targets worker {} but only {} exist",
-                    k.worker, self.workers
+                    "kill targets worker {} but at most {} can exist",
+                    k.worker, kill_bound
                 ));
             }
             if !k.at_us.is_finite() || k.at_us < 0.0 {
                 return bad(format!("kill.at_us must be finite, got {}", k.at_us));
             }
         }
-        if let Some(d) = &self.drain {
+        for d in &self.drains {
             if d.worker >= self.workers {
                 return bad(format!(
                     "drain targets worker {} but only {} exist",
@@ -189,6 +212,15 @@ impl ClusterConfig {
                         d.at_us
                     ));
                 }
+            }
+        }
+        if let Some(a) = &self.autoscale {
+            a.validate()?;
+            if self.workers < a.min_workers || self.workers > a.max_workers {
+                return bad(format!(
+                    "initial fleet ({}) must lie within min_workers ({})..=max_workers ({})",
+                    self.workers, a.min_workers, a.max_workers
+                ));
             }
         }
         if !(0.0..1.0).contains(&self.heartbeat_loss_rate) {
@@ -240,6 +272,8 @@ enum ClusterEvent {
     Drain(usize),
     /// The drained worker rejoins the routing set.
     DrainResume(usize),
+    /// The autoscaler's evaluation window closes.
+    AutoscaleTick,
 }
 
 /// Terminal outcome of one cluster request.
@@ -286,6 +320,38 @@ struct WorkerSlot {
     assigned: u64,
     /// Worker-health counters (heartbeats, suspicion, detection).
     stats: FailoverStats,
+    /// Scale-down in progress: draining toward permanent removal.
+    retiring: bool,
+    /// Permanently removed (never routed to, heartbeats ignored).
+    retired: bool,
+    /// When this worker joined the fleet (ZERO for the initial fleet).
+    spawned_at: SimTime,
+    /// When retirement completed (worker-seconds accounting).
+    retired_at: SimTime,
+}
+
+/// One autoscaler evaluation window as the dispatcher recorded it: the
+/// signals it saw and the directive it applied. The sequence of these is
+/// the determinism witness for the control plane — identical seeds must
+/// produce identical `Vec<WindowRecord>`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRecord {
+    /// Evaluation instant.
+    pub at: SimTime,
+    /// Workers in the routing set at evaluation.
+    pub active_workers: usize,
+    /// Mean outstanding copies per active worker.
+    pub mean_queue_depth: f64,
+    /// Windowed p99 (µs), if anything completed in the window.
+    pub p99_us: Option<f64>,
+    /// Requests routed in the window.
+    pub offered: u64,
+    /// Requests shed in the window.
+    pub shed: u64,
+    /// The decision applied.
+    pub decision: ScaleDecision,
+    /// The brownout level in force after this evaluation.
+    pub brownout: BrownoutLevel,
 }
 
 /// The result of a cluster run.
@@ -309,6 +375,17 @@ pub struct ClusterReport {
     pub workers: Vec<RunReport>,
     /// When the last event fired.
     pub finished_at: SimTime,
+    /// Control-plane accounting: scale events, worker-seconds, brownout
+    /// residency, SLO attainment per window. Fleet-scoped — *not* the
+    /// sum of the per-worker copies (those only carry each worker's own
+    /// brownout residency).
+    pub autoscale: AutoscaleStats,
+    /// Every autoscaler evaluation, in order (empty without autoscaling).
+    pub windows: Vec<WindowRecord>,
+    /// FNV-1a fold of every worker's lifecycle-trace hash, in slot
+    /// order: one number that changes if any worker's event stream
+    /// changes. Golden-trace determinism tests key on this.
+    pub trace_hash: u64,
 }
 
 impl ClusterReport {
@@ -334,6 +411,8 @@ const HB_STREAM: u64 = 0x4845_4152_5442_4541; // "HEARTBEA"
 /// completion under one deterministic clock.
 pub struct ClusterDispatcher {
     cfg: ClusterConfig,
+    /// The function registry, kept so scale-up can boot fresh workers.
+    registry: FunctionRegistry,
     slots: Vec<WorkerSlot>,
     events: EventQueue<ClusterEvent>,
     requests: Vec<RequestState>,
@@ -346,6 +425,25 @@ pub struct ClusterDispatcher {
     fleet: FailoverStats,
     latency: LatencyHistogram,
     finished_at: SimTime,
+    /// The control plane, if autoscaling is on.
+    autoscaler: Option<ClusterAutoscaler>,
+    /// Next seed-derivation stream for a spawned worker. Starts at the
+    /// initial fleet size so a newcomer never replays an existing
+    /// worker's randomness.
+    next_stream: u64,
+    /// Fleet-wide brownout level currently imposed.
+    brownout: BrownoutLevel,
+    /// When the fleet entered `brownout` (residency accounting).
+    brownout_since: SimTime,
+    /// Current-window counters, reset at every autoscale tick.
+    win_offered: u64,
+    win_completed: u64,
+    win_shed: u64,
+    win_latency: LatencyHistogram,
+    /// Every evaluation's signals + directive, in order.
+    windows: Vec<WindowRecord>,
+    /// Fleet-scoped control-plane accounting.
+    autoscale_stats: AutoscaleStats,
 }
 
 impl ClusterDispatcher {
@@ -359,38 +457,11 @@ impl ClusterDispatcher {
     /// Returns the first validation problem found.
     pub fn new(cfg: ClusterConfig, registry: FunctionRegistry) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        let autoscaler = cfg.autoscale.map(ClusterAutoscaler::new).transpose()?;
         let mut slots = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
-            let mut rt = cfg.template.clone();
-            rt.seed = Rng::derive_seed(cfg.seed, w as u64);
-            rt.crash = Some(CrashConfig {
-                plan: None,
-                semantics: cfg.semantics,
-                restart_penalty_us: cfg.restart_penalty_us,
-                ..CrashConfig::journal_only()
-            });
-            let server = WorkerServer::new(rt, registry.clone())?;
-            let hb_cfg = InjectConfig {
-                heartbeat_loss_rate: cfg.heartbeat_loss_rate,
-                partition: cfg
-                    .partition
-                    .filter(|p| p.worker == w)
-                    .map(|p| PartitionWindow::new(p.from_us, p.until_us)),
-                ..InjectConfig::default()
-            };
-            let hb_rng = Rng::new(Rng::derive_seed(cfg.seed, HB_STREAM ^ w as u64));
-            slots.push(WorkerSlot {
-                server,
-                detector: PhiAccrual::new(cfg.detector),
-                health: WorkerHealth::Healthy,
-                crashed: false,
-                crashed_at: SimTime::ZERO,
-                hb_injector: FaultInjector::new(hb_cfg, hb_rng),
-                hb_resume_at: SimTime::ZERO,
-                probation: 0,
-                assigned: 0,
-                stats: FailoverStats::default(),
-            });
+            let server = Self::boot_worker(&cfg, &registry, w as u64)?;
+            slots.push(Self::slot(&cfg, server, w as u64, SimTime::ZERO));
         }
         let mut events = EventQueue::new();
         let hb = SimDuration::from_ns_f64(cfg.detector.heartbeat_every_us * 1_000.0);
@@ -400,14 +471,23 @@ impl ClusterDispatcher {
         if let Some(k) = cfg.kill {
             events.push(us(k.at_us), ClusterEvent::Kill(k.worker));
         }
-        if let Some(d) = cfg.drain {
+        for d in &cfg.drains {
             events.push(us(d.at_us), ClusterEvent::Drain(d.worker));
             if let Some(r) = d.resume_at_us {
                 events.push(us(r), ClusterEvent::DrainResume(d.worker));
             }
         }
+        if let Some(a) = &cfg.autoscale {
+            events.push(us(a.evaluate_every_us), ClusterEvent::AutoscaleTick);
+        }
+        let next_stream = cfg.workers as u64;
+        let autoscale_stats = AutoscaleStats {
+            peak_workers: cfg.workers as u64,
+            ..AutoscaleStats::default()
+        };
         Ok(ClusterDispatcher {
             cfg,
+            registry,
             slots,
             events,
             requests: Vec::new(),
@@ -416,7 +496,66 @@ impl ClusterDispatcher {
             fleet: FailoverStats::default(),
             latency: LatencyHistogram::new(),
             finished_at: SimTime::ZERO,
+            autoscaler,
+            next_stream,
+            brownout: BrownoutLevel::Normal,
+            brownout_since: SimTime::ZERO,
+            win_offered: 0,
+            win_completed: 0,
+            win_shed: 0,
+            win_latency: LatencyHistogram::new(),
+            windows: Vec::new(),
+            autoscale_stats,
         })
+    }
+
+    /// Boots one worker server from the template: derived seed (stream
+    /// `stream`), journaling installed, cluster crash semantics.
+    fn boot_worker(
+        cfg: &ClusterConfig,
+        registry: &FunctionRegistry,
+        stream: u64,
+    ) -> Result<WorkerServer, ConfigError> {
+        let mut rt = cfg.template.clone();
+        rt.seed = Rng::derive_seed(cfg.seed, stream);
+        rt.crash = Some(CrashConfig {
+            plan: None,
+            semantics: cfg.semantics,
+            restart_penalty_us: cfg.restart_penalty_us,
+            ..CrashConfig::journal_only()
+        });
+        WorkerServer::new(rt, registry.clone())
+    }
+
+    /// Wraps a booted server in a fresh slot. Scripted partitions only
+    /// ever target the initial fleet (validated against `cfg.workers`),
+    /// so spawned workers get a loss-rate-only heartbeat injector.
+    fn slot(cfg: &ClusterConfig, server: WorkerServer, stream: u64, at: SimTime) -> WorkerSlot {
+        let hb_cfg = InjectConfig {
+            heartbeat_loss_rate: cfg.heartbeat_loss_rate,
+            partition: cfg
+                .partition
+                .filter(|p| p.worker as u64 == stream && (stream as usize) < cfg.workers)
+                .map(|p| PartitionWindow::new(p.from_us, p.until_us)),
+            ..InjectConfig::default()
+        };
+        let hb_rng = Rng::new(Rng::derive_seed(cfg.seed, HB_STREAM ^ stream));
+        WorkerSlot {
+            server,
+            detector: PhiAccrual::new(cfg.detector),
+            health: WorkerHealth::Healthy,
+            crashed: false,
+            crashed_at: SimTime::ZERO,
+            hb_injector: FaultInjector::new(hb_cfg, hb_rng),
+            hb_resume_at: SimTime::ZERO,
+            probation: 0,
+            assigned: 0,
+            stats: FailoverStats::default(),
+            retiring: false,
+            retired: false,
+            spawned_at: at,
+            retired_at: SimTime::ZERO,
+        }
     }
 
     /// Schedules an external request to reach the dispatcher at `at`.
@@ -440,8 +579,10 @@ impl ClusterDispatcher {
 
     /// Runs the cluster to completion and returns the merged report.
     pub fn run(&mut self) -> ClusterReport {
+        let prewarm = self.cfg.autoscale.map_or(0, |a| a.prewarm_pds);
         for slot in &mut self.slots {
             slot.server.begin();
+            slot.server.prefill_pd_pools(prewarm);
         }
         loop {
             // The globally earliest event wins; a worker beats the
@@ -492,19 +633,27 @@ impl ClusterDispatcher {
             ClusterEvent::HedgeCheck(tag) => self.on_hedge_check(t, tag),
             ClusterEvent::Notice(w, n) => self.on_notice(w, n),
             ClusterEvent::Kill(w) => {
-                self.slots[w].crashed = true;
-                self.slots[w].crashed_at = t;
+                // A kill scripted against an autoscaled slot misses if the
+                // fleet never grew that far, and a retired worker holds no
+                // work worth crashing.
+                if w < self.slots.len() && !self.slots[w].retired {
+                    self.slots[w].crashed = true;
+                    self.slots[w].crashed_at = t;
+                }
             }
             ClusterEvent::Drain(w) => self.on_drain(t, w),
             ClusterEvent::DrainResume(w) => {
-                if self.slots[w].health == WorkerHealth::Draining {
+                // A worker retiring through the drain path never resumes.
+                if self.slots[w].health == WorkerHealth::Draining && !self.slots[w].retiring {
                     self.slots[w].health = WorkerHealth::Healthy;
                 }
             }
+            ClusterEvent::AutoscaleTick => self.on_autoscale_tick(t),
         }
     }
 
     fn on_route(&mut self, t: SimTime, tag: u64) {
+        self.win_offered += 1;
         match self.route_target(&[]) {
             Some(w) => {
                 self.deliver(t, tag, w);
@@ -519,6 +668,10 @@ impl ClusterDispatcher {
     }
 
     fn on_heartbeat(&mut self, t: SimTime, w: usize) {
+        // A retired worker's heartbeat chain dies with it.
+        if self.slots[w].retired {
+            return;
+        }
         // The timer renews regardless of delivery — it is the
         // dispatcher's cadence, not the worker's — until the run winds
         // down.
@@ -556,7 +709,7 @@ impl ClusterDispatcher {
                     slot.stats.readmissions += 1;
                 }
             }
-            WorkerHealth::Healthy | WorkerHealth::Draining => {}
+            WorkerHealth::Healthy | WorkerHealth::Draining | WorkerHealth::Retired => {}
         }
         // Arm this epoch's threshold checks; a later heartbeat bumps
         // the epoch and renders them inert.
@@ -581,7 +734,7 @@ impl ClusterDispatcher {
     }
 
     fn on_phi_check(&mut self, t: SimTime, w: usize, epoch: u64, evict: bool) {
-        if self.finishing {
+        if self.finishing || self.slots[w].retired {
             return;
         }
         let slot = &mut self.slots[w];
@@ -593,7 +746,11 @@ impl ClusterDispatcher {
                 slot.health = WorkerHealth::Suspected;
                 slot.stats.suspects += 1;
             }
-            (WorkerHealth::Healthy | WorkerHealth::Suspected, true) => {
+            // Draining workers are evictable too: heartbeat loss during a
+            // scale-down (or scripted) drain must be detected, or the
+            // victim's in-flight work would be stranded until the end of
+            // the run.
+            (WorkerHealth::Healthy | WorkerHealth::Suspected | WorkerHealth::Draining, true) => {
                 slot.health = WorkerHealth::Evicted;
                 slot.probation = 0;
                 slot.stats.evictions += 1;
@@ -616,7 +773,7 @@ impl ClusterDispatcher {
                 // completions still count, and probation heartbeats
                 // readmit it.
             }
-            _ => {} // already suspected/evicted, or draining
+            _ => {} // already suspected or evicted
         }
     }
 
@@ -642,10 +799,48 @@ impl ClusterDispatcher {
     }
 
     fn on_drain(&mut self, t: SimTime, w: usize) {
+        if self.slots[w].retired || self.slots[w].retiring {
+            return;
+        }
         self.fleet.drains += 1;
         self.slots[w].health = WorkerHealth::Draining;
-        // Pull every queued (undispatched) request back out of the
-        // worker and re-route it; in-flight work finishes in place.
+        self.rebalance_queued(t, w);
+    }
+
+    /// Begins retiring worker `w` (scale-down): drain-aware rebalancing
+    /// with no way back. If the worker is secretly dead the rebalance is
+    /// skipped — eviction will recover its journal and
+    /// [`fail_over`](Self::fail_over) finishes the retirement with every
+    /// stranded request re-routed.
+    fn begin_retire(&mut self, t: SimTime, w: usize) {
+        self.slots[w].retiring = true;
+        self.slots[w].health = WorkerHealth::Draining;
+        self.fleet.drains += 1;
+        if !self.slots[w].crashed {
+            self.rebalance_queued(t, w);
+            self.maybe_finish_retire(t, w);
+        }
+    }
+
+    /// Completes a retirement once the worker is empty: no outstanding
+    /// copies, no live request rows.
+    fn maybe_finish_retire(&mut self, t: SimTime, w: usize) {
+        let slot = &mut self.slots[w];
+        if slot.retiring
+            && !slot.retired
+            && !slot.crashed
+            && slot.assigned == 0
+            && slot.server.live_requests() == 0
+        {
+            slot.retired = true;
+            slot.retired_at = t;
+            slot.health = WorkerHealth::Retired;
+        }
+    }
+
+    /// Pulls every queued (undispatched) request back out of worker `w`
+    /// and re-routes it; in-flight work finishes in place.
+    fn rebalance_queued(&mut self, t: SimTime, w: usize) {
         for tag in self.slots[w].server.queued_tags() {
             let idx = (tag - 1) as usize;
             if self.requests[idx].outcome.is_some() {
@@ -674,6 +869,7 @@ impl ClusterDispatcher {
 
     /// A terminal notice from worker `w` reached the dispatcher.
     fn on_notice(&mut self, w: usize, n: WorkerNotice) {
+        let at = n.at;
         let idx = (n.tag - 1) as usize;
         if let Some(pos) = self.requests[idx].copies.iter().position(|&c| c == w) {
             self.requests[idx].copies.remove(pos);
@@ -683,6 +879,7 @@ impl ClusterDispatcher {
             // A hedge loser or failover twin finishing late: the
             // request is already settled, the work was redundant.
             self.fleet.duplicated += 1;
+            self.maybe_finish_retire(at, w);
             return;
         }
         match n.outcome {
@@ -700,6 +897,7 @@ impl ClusterDispatcher {
                         self.fleet.cancelled += 1;
                         self.slots[c].assigned = self.slots[c].assigned.saturating_sub(1);
                         self.requests[idx].copies.retain(|&x| x != c);
+                        self.maybe_finish_retire(at, c);
                     }
                 }
             }
@@ -717,6 +915,9 @@ impl ClusterDispatcher {
                 }
             }
         }
+        // A retiring worker finishes for good once its last copy is
+        // answered.
+        self.maybe_finish_retire(at, w);
     }
 
     // --------------------------------------------------------------
@@ -763,18 +964,36 @@ impl ClusterDispatcher {
     /// through journal replay and re-route (or fail) everything the
     /// crash stranded.
     fn fail_over(&mut self, t: SimTime, w: usize) {
+        let retiring = self.slots[w].retiring;
         let stranded = {
             let slot = &mut self.slots[w];
             let stranded = slot.server.crash_for_cluster(t);
             slot.crashed = false;
             slot.detector.reset();
-            slot.hb_resume_at = t + us_dur(self.cfg.restart_penalty_us);
             slot.assigned = 0;
             slot.probation = 0;
-            // Health stays Evicted: probation heartbeats after the
-            // restart penalty earn readmission.
+            if retiring {
+                // The crash raced a scale-down drain: the worker was on
+                // its way out anyway, so recovery finalizes the
+                // retirement instead of rebooting into probation. Its
+                // stranded requests are re-routed below like any other
+                // crash victim's — retirement loses nothing.
+                slot.retired = true;
+                slot.retired_at = t;
+                slot.health = WorkerHealth::Retired;
+            } else {
+                slot.hb_resume_at = t + us_dur(self.cfg.restart_penalty_us);
+                // Health stays Evicted: probation heartbeats after the
+                // restart penalty earn readmission.
+            }
             stranded
         };
+        if !retiring {
+            // The worker may have missed fleet brownout transitions
+            // while dead; re-impose the current level (a no-op when its
+            // recovered admission policy already carries it).
+            self.slots[w].server.set_brownout(t, self.brownout);
+        }
         for s in stranded {
             let idx = (s.tag - 1) as usize;
             self.requests[idx].copies.retain(|&c| c != w);
@@ -810,13 +1029,188 @@ impl ClusterDispatcher {
         }
     }
 
+    // --------------------------------------------------------------
+    // Autoscaling
+    // --------------------------------------------------------------
+
+    /// One evaluation window closed: gather signals, ask the engine,
+    /// apply its directive, record the window.
+    fn on_autoscale_tick(&mut self, t: SimTime) {
+        if self.finishing {
+            return;
+        }
+        let Some(auto) = self.cfg.autoscale else {
+            return;
+        };
+        self.events.push(
+            t + us_dur(auto.evaluate_every_us),
+            ClusterEvent::AutoscaleTick,
+        );
+
+        let active: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.retired && !s.retiring)
+            .map(|(w, _)| w)
+            .collect();
+        let mean_queue_depth = if active.is_empty() {
+            0.0
+        } else {
+            active
+                .iter()
+                .map(|&w| self.slots[w].assigned as f64)
+                .sum::<f64>()
+                / active.len() as f64
+        };
+        let suspects = active
+            .iter()
+            .filter(|&&w| self.slots[w].health == WorkerHealth::Suspected)
+            .count();
+        let p99_us = self.win_latency.p99().map(|d| d.as_ns_f64() / 1_000.0);
+        let sig = WindowSignals {
+            at: t,
+            active_workers: active.len(),
+            mean_queue_depth,
+            p99_us,
+            offered: self.win_offered,
+            completed: self.win_completed,
+            shed: self.win_shed,
+            suspects,
+        };
+        let directive: Directive = self
+            .autoscaler
+            .as_mut()
+            .expect("ticks are only scheduled with autoscaling on")
+            .evaluate(&sig);
+
+        // SLO attainment: a window passes when nothing was shed and the
+        // windowed p99 (when measurable against a target) stayed inside.
+        self.autoscale_stats.windows += 1;
+        let slo_ok = self.win_shed == 0
+            && match (p99_us, auto.target_p99_us) {
+                (Some(p99), Some(target)) => p99 <= target,
+                _ => true,
+            };
+        if slo_ok {
+            self.autoscale_stats.slo_ok_windows += 1;
+        }
+
+        self.apply_brownout(t, directive.brownout);
+        match directive.decision {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Up(n) => {
+                self.autoscale_stats.scale_ups += 1;
+                self.autoscale_stats.workers_added += n as u64;
+                for _ in 0..n {
+                    self.spawn_worker(t, auto.prewarm_pds);
+                }
+            }
+            ScaleDecision::Down(n) => {
+                self.autoscale_stats.scale_downs += 1;
+                self.autoscale_stats.workers_removed += n as u64;
+                for w in self.retire_candidates(&active, n) {
+                    self.begin_retire(t, w);
+                }
+            }
+        }
+        self.autoscale_stats.reversals =
+            self.autoscaler.as_ref().expect("checked above").reversals();
+        let now_active = self
+            .slots
+            .iter()
+            .filter(|s| !s.retired && !s.retiring)
+            .count() as u64;
+        self.autoscale_stats.peak_workers = self.autoscale_stats.peak_workers.max(now_active);
+
+        self.windows.push(WindowRecord {
+            at: t,
+            active_workers: sig.active_workers,
+            mean_queue_depth,
+            p99_us,
+            offered: self.win_offered,
+            shed: self.win_shed,
+            decision: directive.decision,
+            brownout: directive.brownout,
+        });
+        self.win_offered = 0;
+        self.win_completed = 0;
+        self.win_shed = 0;
+        self.win_latency = LatencyHistogram::new();
+    }
+
+    /// Boots and registers a fresh worker at `t`: pristine image through
+    /// the normal lifecycle/journal machinery, warm PD pools pre-filled,
+    /// the fleet's brownout level imposed, heartbeat chain started.
+    fn spawn_worker(&mut self, t: SimTime, prewarm: usize) {
+        let stream = self.next_stream;
+        self.next_stream += 1;
+        let server = Self::boot_worker(&self.cfg, &self.registry, stream)
+            .expect("template already validated at cluster construction");
+        let mut slot = Self::slot(&self.cfg, server, stream, t);
+        slot.server.begin();
+        slot.server.prefill_pd_pools(prewarm);
+        slot.server.set_brownout(t, self.brownout);
+        let w = self.slots.len();
+        self.slots.push(slot);
+        let hb = us_dur(self.cfg.detector.heartbeat_every_us);
+        self.events.push(t + hb, ClusterEvent::Heartbeat(w));
+    }
+
+    /// The `n` active workers to retire: least-loaded first, highest
+    /// index breaking ties (the initial fleet — which scripted kills and
+    /// partitions may target — is vacated last).
+    fn retire_candidates(&self, active: &[usize], n: usize) -> Vec<usize> {
+        let mut ranked: Vec<usize> = active.to_vec();
+        ranked.sort_by_key(|&w| (self.slots[w].assigned, std::cmp::Reverse(w)));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Moves the fleet to `level`: folds the residency of the old level,
+    /// counts the transition, and imposes the new level on every
+    /// reachable worker (crashed workers catch up in
+    /// [`fail_over`](Self::fail_over); retired ones never do).
+    fn apply_brownout(&mut self, t: SimTime, level: BrownoutLevel) {
+        if level == self.brownout {
+            return;
+        }
+        self.fold_brownout(t);
+        self.brownout = level;
+        self.autoscale_stats.brownout_transitions += 1;
+        for slot in &mut self.slots {
+            if !slot.crashed && !slot.retired {
+                slot.server.set_brownout(t, level);
+            }
+        }
+    }
+
+    /// Folds the time spent at the current brownout level into the
+    /// residency counters, up to `until`.
+    fn fold_brownout(&mut self, until: SimTime) {
+        let ns = until.saturating_since(self.brownout_since).as_ns_f64();
+        match self.brownout {
+            BrownoutLevel::Normal => {}
+            BrownoutLevel::Degraded => self.autoscale_stats.degraded_ns += ns,
+            BrownoutLevel::ShedHeavy => self.autoscale_stats.shed_heavy_ns += ns,
+        }
+        self.brownout_since = until;
+    }
+
     /// Fixes request `tag`'s terminal outcome.
     fn settle(&mut self, t: SimTime, tag: u64, outcome: Outcome) {
         let req = &mut self.requests[(tag - 1) as usize];
         debug_assert!(req.outcome.is_none(), "a request settles exactly once");
         req.outcome = Some(outcome);
-        if outcome == Outcome::Completed {
-            self.latency.record(t.saturating_since(req.arrival));
+        match outcome {
+            Outcome::Completed => {
+                let latency = t.saturating_since(req.arrival);
+                self.latency.record(latency);
+                self.win_completed += 1;
+                self.win_latency.record(latency);
+            }
+            Outcome::Shed => self.win_shed += 1,
+            Outcome::Failed => {}
         }
         self.pending -= 1;
         if self.pending == 0 {
@@ -848,6 +1242,24 @@ impl ClusterDispatcher {
                 }
             }
         }
+        // Close the books on the control plane: outstanding brownout
+        // residency, per-worker lifetimes, and the fleet trace hash
+        // (FNV-1a over every worker's own trace hash, in slot order).
+        self.fold_brownout(self.finished_at);
+        let mut trace_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for slot in &self.slots {
+            let end = if slot.retired {
+                slot.retired_at
+            } else {
+                self.finished_at
+            };
+            self.autoscale_stats.worker_seconds +=
+                end.saturating_since(slot.spawned_at).as_ns_f64() / 1e9;
+            for byte in slot.server.trace_hash().to_le_bytes() {
+                trace_hash ^= u64::from(byte);
+                trace_hash = trace_hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
         let mut report = ClusterReport {
             offered: self.requests.len() as u64,
             completed: 0,
@@ -857,6 +1269,9 @@ impl ClusterDispatcher {
             failover: self.fleet,
             workers: Vec::with_capacity(self.slots.len()),
             finished_at: self.finished_at,
+            autoscale: self.autoscale_stats,
+            windows: self.windows.clone(),
+            trace_hash,
         };
         for req in &self.requests {
             match req.outcome {
@@ -1075,11 +1490,11 @@ mod tests {
     #[test]
     fn drain_rebalances_queued_work_and_resumes() {
         let mut cfg = base_cfg(2);
-        cfg.drain = Some(DrainPlan {
+        cfg.drains = vec![DrainPlan {
             worker: 0,
             at_us: 4.0,
             resume_at_us: Some(40.0),
-        });
+        }];
         // 40 requests/µs against ~37/µs of cluster capacity: queues
         // build fast, so worker 0 has undispatched work at the drain.
         let (mut c, _) = cluster_with_load(cfg, 800, 25);
@@ -1140,11 +1555,17 @@ mod tests {
         c.max_failovers = 0;
         assert!(c.validate().is_err(), "zero failover budget");
         c = base_cfg(2);
-        c.drain = Some(DrainPlan {
+        c.drains = vec![DrainPlan {
             worker: 0,
             at_us: 50.0,
             resume_at_us: Some(40.0),
-        });
+        }];
         assert!(c.validate().is_err(), "resume before drain");
+        c = base_cfg(2);
+        c.autoscale = Some(AutoscalerConfig {
+            min_workers: 3,
+            ..AutoscalerConfig::default()
+        });
+        assert!(c.validate().is_err(), "initial fleet below min_workers");
     }
 }

@@ -49,6 +49,11 @@ pub enum ConfigError {
         /// What is wrong with it.
         reason: String,
     },
+    /// A workload description (mix, arrival process) is malformed.
+    Workload {
+        /// What is wrong with it.
+        reason: String,
+    },
     /// No functions are deployed in the registry.
     NoFunctions,
     /// PrivLib boot or initial VMA allocation failed.
@@ -72,6 +77,7 @@ impl fmt::Display for ConfigError {
             ConfigError::Recovery { reason } => write!(f, "invalid recovery policy: {reason}"),
             ConfigError::Crash { reason } => write!(f, "invalid crash config: {reason}"),
             ConfigError::Cluster { reason } => write!(f, "invalid cluster config: {reason}"),
+            ConfigError::Workload { reason } => write!(f, "invalid workload: {reason}"),
             ConfigError::NoFunctions => write!(f, "no functions deployed"),
             ConfigError::Boot(e) => write!(f, "runtime boot failed: {e}"),
         }

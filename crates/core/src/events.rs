@@ -24,11 +24,12 @@ use jord_hw::types::Va;
 use jord_hw::FaultKind;
 use jord_sim::{OnlineStats, SimDuration, SimTime};
 
+use crate::admission::BrownoutLevel;
 use crate::function::FunctionId;
 use crate::invocation::{Breakdown, InvocationId};
 use crate::journal::{InvocationJournal, PendingInvocation, PendingRetry};
 use crate::lifecycle::Effect;
-use crate::stats::{CrashStats, RunReport, SanitizeStats};
+use crate::stats::{AutoscaleStats, CrashStats, RunReport, SanitizeStats};
 
 /// Capacity of the trace-sink ring buffer: enough to hold the tail of a
 /// campaign for post-mortem assertions without growing with run length.
@@ -300,6 +301,15 @@ pub enum LifecycleEvent {
         /// Records replayed past the checkpoint.
         records: u64,
     },
+    /// The tier above imposed a new brownout level on this worker's
+    /// admission policy. Journaled (and traced) so degraded-mode windows
+    /// are visible in the event stream and survive replay audits.
+    BrownoutChanged {
+        /// The newly imposed level.
+        level: BrownoutLevel,
+        /// When the change landed.
+        at: SimTime,
+    },
 }
 
 impl LifecycleEvent {
@@ -327,7 +337,8 @@ impl LifecycleEvent {
             | PdSetup { .. }
             | PdSanitized { .. }
             | CrashKilled { .. }
-            | Replayed { .. } => None,
+            | Replayed { .. }
+            | BrownoutChanged { .. } => None,
         }
     }
 
@@ -356,6 +367,7 @@ impl LifecycleEvent {
             PdSanitized { .. } => "PdSanitized",
             CrashKilled { .. } => "CrashKilled",
             Replayed { .. } => "Replayed",
+            BrownoutChanged { .. } => "BrownoutChanged",
         }
     }
 }
@@ -416,6 +428,7 @@ impl JournalSink {
             LifecycleEvent::Cancelled { id: Some(id), .. } => j.cancel(id),
             LifecycleEvent::Cancelled { id: None, .. } => {}
             LifecycleEvent::Crashed { scope } => j.crash(scope),
+            LifecycleEvent::BrownoutChanged { level, .. } => j.brownout(level),
             _ => {}
         }
     }
@@ -427,6 +440,11 @@ struct StatsSink {
     report: RunReport,
     crash: CrashStats,
     sanitize: SanitizeStats,
+    autoscale: AutoscaleStats,
+    /// Current brownout level and when it was entered, for folding
+    /// degraded-mode residency time into the report at seal.
+    brownout: BrownoutLevel,
+    brownout_since: SimTime,
     /// Terminal outcomes to discard before measurement starts.
     warmup: u64,
     /// Unmeasured terminal outcomes seen so far.
@@ -443,6 +461,18 @@ impl StatsSink {
     fn warm(&mut self) {
         self.warmed += 1;
         self.report.offered -= 1;
+    }
+
+    /// Folds the residency time at the current brownout level up to
+    /// `until` into the counters, then re-anchors the segment there.
+    fn fold_brownout(&mut self, until: SimTime) {
+        let ns = until.saturating_since(self.brownout_since).as_ns_f64();
+        match self.brownout {
+            BrownoutLevel::Normal => {}
+            BrownoutLevel::Degraded => self.autoscale.degraded_ns += ns,
+            BrownoutLevel::ShedHeavy => self.autoscale.shed_heavy_ns += ns,
+        }
+        self.brownout_since = until;
     }
 
     fn apply(&mut self, ev: &LifecycleEvent) {
@@ -524,6 +554,11 @@ impl StatsSink {
             }
             LifecycleEvent::CrashKilled { count } => self.crash.killed += count,
             LifecycleEvent::Replayed { records } => self.crash.replayed += records,
+            LifecycleEvent::BrownoutChanged { level, at } => {
+                self.fold_brownout(at);
+                self.brownout = level;
+                self.autoscale.brownout_transitions += 1;
+            }
             LifecycleEvent::Admitted { .. }
             | LifecycleEvent::ArgBufGranted { .. }
             | LifecycleEvent::Dispatched { .. }
@@ -801,6 +836,8 @@ impl EventBus {
             report.crash.checkpoints = j.checkpoints() + self.journal.retired_checkpoints;
         }
         report.sanitize = self.stats.sanitize;
+        self.stats.fold_brownout(finished_at);
+        report.autoscale = self.stats.autoscale;
         report.finished_at = finished_at;
         report
     }

@@ -120,6 +120,10 @@ pub enum WorkerHealth {
     /// Administratively draining: finishes in-flight work, admits
     /// nothing new, queued work is rebalanced away.
     Draining,
+    /// Permanently removed by the autoscaler: never routed to again,
+    /// heartbeats and φ checks for it are ignored. Unlike
+    /// [`Evicted`](Self::Evicted) there is no probation path back.
+    Retired,
 }
 
 /// Phi-accrual detector state for one worker (dispatcher side).

@@ -27,6 +27,7 @@ use jord_hw::FaultInjector;
 use jord_sim::{Rng, SimTime};
 use jord_vma::TableSnapshot;
 
+use crate::admission::BrownoutLevel;
 use crate::function::FunctionId;
 use crate::invocation::InvocationId;
 use crate::stats::RunReport;
@@ -153,6 +154,14 @@ pub enum JournalRecord {
     },
     /// A checkpoint was taken right after this record.
     Checkpoint,
+    /// The worker's brownout level changed (autoscaler-imposed graceful
+    /// degradation). Informational for the ledger — admission decisions
+    /// taken under the level are journaled individually — but recorded so
+    /// post-mortems can correlate sheds with the level in force.
+    Brownout {
+        /// The level now in force.
+        level: BrownoutLevel,
+    },
 }
 
 /// An external request currently in flight (admitted, not yet concluded),
@@ -437,6 +446,11 @@ impl InvocationJournal {
         self.push(JournalRecord::Crash { scope });
     }
 
+    /// The brownout level changed.
+    pub fn brownout(&mut self, level: BrownoutLevel) {
+        self.push(JournalRecord::Brownout { level });
+    }
+
     // ------------------------------------------------------------------
     // Replay
     // ------------------------------------------------------------------
@@ -556,7 +570,9 @@ impl InvocationJournal {
                     in_flight.remove(&id.0);
                     report.offered -= 1;
                 }
-                JournalRecord::Crash { .. } | JournalRecord::Checkpoint => {}
+                JournalRecord::Crash { .. }
+                | JournalRecord::Checkpoint
+                | JournalRecord::Brownout { .. } => {}
             }
         }
         RecoveredState {

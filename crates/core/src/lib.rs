@@ -44,6 +44,7 @@
 
 pub mod admission;
 pub mod argbuf;
+pub mod autoscaler;
 pub mod cluster;
 pub mod config;
 pub mod events;
@@ -58,11 +59,14 @@ pub mod recovery;
 pub mod server;
 pub mod stats;
 
-pub use admission::{AdmissionPolicy, FailureDisposition};
+pub use admission::{AdmissionPolicy, BrownoutLevel, FailureDisposition};
 pub use argbuf::ArgBuf;
+pub use autoscaler::{
+    AutoscalerConfig, BrownoutConfig, ClusterAutoscaler, Directive, ScaleDecision, WindowSignals,
+};
 pub use cluster::{
     ClusterConfig, ClusterDispatcher, ClusterReport, DrainPlan, HedgeConfig, PartitionPlan,
-    WorkerKill,
+    WindowRecord, WorkerKill,
 };
 pub use config::{ConfigError, RecoveryPolicy, RuntimeConfig, SpillConfig, SystemVariant};
 pub use events::{
@@ -84,5 +88,6 @@ pub use orchestrator::Orchestrator;
 pub use recovery::{CrashConfig, CrashSemantics};
 pub use server::{StrandedRequest, WorkerServer};
 pub use stats::{
-    CrashStats, FailoverStats, FaultStats, FunctionBreakdown, RunReport, SanitizeStats,
+    AutoscaleStats, CrashStats, FailoverStats, FaultStats, FunctionBreakdown, RunReport,
+    SanitizeStats,
 };

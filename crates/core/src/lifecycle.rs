@@ -155,6 +155,7 @@ pub fn transition(
         }
         // Stat-only events never touch a request row.
         (LifecycleEvent::Crashed { .. }, None) => Ok((None, vec![Journal, Stats, Trace])),
+        (LifecycleEvent::BrownoutChanged { .. }, None) => Ok((None, vec![Journal, Stats, Trace])),
         (
             LifecycleEvent::Aborted { .. }
             | LifecycleEvent::Spilled

@@ -7,7 +7,7 @@ use jord_privlib::{os, PrivError, PrivLib};
 use jord_sim::{EventQueue, Rng, SimDuration, SimTime};
 use jord_vma::PdSnapshot;
 
-use crate::admission::{AdmissionPolicy, FailureDisposition};
+use crate::admission::{AdmissionPolicy, BrownoutLevel, FailureDisposition};
 use crate::argbuf::ArgBuf;
 use crate::config::{ConfigError, RuntimeConfig};
 use crate::events::{
@@ -451,6 +451,66 @@ impl WorkerServer {
     /// the leak-freedom checks key on this).
     pub fn live_invocations(&self) -> usize {
         self.slab.len()
+    }
+
+    /// The brownout level currently in force.
+    pub fn brownout(&self) -> BrownoutLevel {
+        self.admission.brownout()
+    }
+
+    /// Imposes a brownout level (the cluster autoscaler's graceful-
+    /// degradation call). A no-op when the level is already in force, so
+    /// the dispatcher can safely re-impose the fleet level after a crash
+    /// recovery without polluting the journal or trace. Level changes go
+    /// through the bus like every other lifecycle event: journaled,
+    /// counted, and folded into the trace hash.
+    pub fn set_brownout(&mut self, at: SimTime, level: BrownoutLevel) {
+        if level == self.admission.brownout() {
+            return;
+        }
+        self.admission.set_brownout(level);
+        self.emit(LifecycleEvent::BrownoutChanged { level, at });
+    }
+
+    /// Pre-fills the sanitized-PD pools with up to `per_function` pristine
+    /// PDs per deployed function — the Groundhog-style warm-pool fill a
+    /// freshly scaled-up worker performs during bring-up, so its first
+    /// requests take the pooled fast path instead of paying full PD
+    /// construction. A no-op unless snapshot sanitization is enabled.
+    /// Construction costs fall outside the measurement window (bring-up
+    /// happens before the worker joins the routing set), and the fill
+    /// stops early if the PD space runs out.
+    pub fn prefill_pd_pools(&mut self, per_function: usize) {
+        if !self.cfg.sanitize || per_function == 0 {
+            return;
+        }
+        let core = CoreId(0);
+        'fill: for fi in 0..self.pd_pools.len() {
+            let func = FunctionId(fi as u32);
+            let spec_stack = self.registry.spec(func).stack() + self.registry.spec(func).heap();
+            let code_va = self.code_vmas[fi];
+            while self.pd_pools[fi].len() < per_function {
+                let Ok((pd, _)) = self.privlib.cget(&mut self.machine, core) else {
+                    break 'fill;
+                };
+                let (stackheap, _) = self
+                    .privlib
+                    .mmap(&mut self.machine, core, spec_stack, Perm::RW, pd)
+                    .expect("prefill stack/heap allocation");
+                self.privlib
+                    .pcopy(
+                        &mut self.machine,
+                        core,
+                        code_va,
+                        PdId::RUNTIME,
+                        pd,
+                        Perm::RX,
+                    )
+                    .expect("prefill code grant");
+                let snapshot = self.privlib.snapshot_pd(pd);
+                self.pd_pools[fi].push((pd, stackheap, snapshot));
+            }
+        }
     }
 
     // ------------------------------------------------------------------

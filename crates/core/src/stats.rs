@@ -138,6 +138,67 @@ impl FailoverStats {
     }
 }
 
+/// Autoscaler and brownout counters: what the control plane spent and what
+/// it bought. Per-worker copies carry only the brownout-residency fields;
+/// the cluster-level copy in [`ClusterReport`](crate::ClusterReport) adds
+/// the scale-event and cost-vs-SLO accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AutoscaleStats {
+    /// Scale-up decisions applied.
+    pub scale_ups: u64,
+    /// Scale-down decisions applied.
+    pub scale_downs: u64,
+    /// Workers booted by scale-up.
+    pub workers_added: u64,
+    /// Workers retired by scale-down.
+    pub workers_removed: u64,
+    /// Direction reversals (an up following a down, or vice versa). The
+    /// flap bound: hysteresis + cooldown should keep this ≤ 1 per
+    /// cooldown window.
+    pub reversals: u64,
+    /// Largest concurrently-active fleet observed.
+    pub peak_workers: u64,
+    /// Σ active worker wall-clock (spawn → retirement or end of run),
+    /// seconds of simulated time. The cost axis of cost-vs-SLO.
+    pub worker_seconds: f64,
+    /// Brownout level changes applied (entries, deepenings, and exits).
+    pub brownout_transitions: u64,
+    /// Simulated time spent in degraded brownout, ns.
+    pub degraded_ns: f64,
+    /// Simulated time spent in shed-heavy brownout, ns.
+    pub shed_heavy_ns: f64,
+    /// Evaluation windows observed.
+    pub windows: u64,
+    /// Windows meeting the SLO (no sheds, and windowed p99 within target
+    /// when both are known).
+    pub slo_ok_windows: u64,
+}
+
+impl AutoscaleStats {
+    /// Fraction of evaluation windows that met the SLO (1.0 when no
+    /// windows were observed — an empty run violated nothing).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.windows == 0 {
+            return 1.0;
+        }
+        self.slo_ok_windows as f64 / self.windows as f64
+    }
+
+    /// Total simulated time under any brownout level, ns.
+    pub fn brownout_ns(&self) -> f64 {
+        self.degraded_ns + self.shed_heavy_ns
+    }
+
+    /// Folds a worker's brownout residency into this (cluster-level) copy.
+    /// Scale events are cluster-scoped and tracked by the dispatcher
+    /// directly, so only the per-worker fields merge.
+    pub fn merge_worker(&mut self, other: &AutoscaleStats) {
+        self.brownout_transitions += other.brownout_transitions;
+        self.degraded_ns += other.degraded_ns;
+        self.shed_heavy_ns += other.shed_heavy_ns;
+    }
+}
+
 /// PD snapshot-sanitization counters (Groundhog-style restore-to-pristine
 /// instead of teardown-and-rebuild).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -267,6 +328,10 @@ pub struct RunReport {
     /// Cluster-failover counters; all zero in single-worker runs (filled
     /// in by the cluster dispatcher at the end of a cluster run).
     pub failover: FailoverStats,
+    /// Autoscaler/brownout counters. Per-worker reports carry only the
+    /// brownout-residency fields; the cluster report adds scale events
+    /// and worker-seconds.
+    pub autoscale: AutoscaleStats,
 }
 
 impl RunReport {
@@ -287,6 +352,7 @@ impl RunReport {
             crash: CrashStats::default(),
             sanitize: SanitizeStats::default(),
             failover: FailoverStats::default(),
+            autoscale: AutoscaleStats::default(),
         }
     }
 

@@ -28,11 +28,11 @@ fn registry() -> (FunctionRegistry, jord_core::FunctionId) {
 #[test]
 fn kill_while_draining_conserves_every_request() {
     let mut cfg = ClusterConfig::new(2, 42, RuntimeConfig::jord_32());
-    cfg.drain = Some(DrainPlan {
+    cfg.drains = vec![DrainPlan {
         worker: 0,
         at_us: 4.0,
         resume_at_us: None,
-    });
+    }];
     cfg.kill = Some(WorkerKill {
         worker: 0,
         at_us: 6.0,

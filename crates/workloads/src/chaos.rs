@@ -129,7 +129,7 @@ impl ChaosSpec {
         let baseline_vmas = server.privlib().live_vmas();
         let baseline_pds = server.privlib().live_pds();
         server.set_warmup(self.warmup as u64);
-        let mut gen = LoadGen::new(workload, self.seed);
+        let mut gen = LoadGen::new(workload, self.seed).expect("workload mix is sampleable");
         for (t, f, b) in gen.arrivals(self.rate_rps, self.requests + self.warmup) {
             server.push_request(t, f, b);
         }

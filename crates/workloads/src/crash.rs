@@ -202,7 +202,7 @@ impl CrashCampaign {
             WorkerServer::new(cfg, workload.registry.clone()).expect("valid crash config");
         let baseline_vmas = server.privlib().live_vmas();
         let baseline_pds = server.privlib().live_pds();
-        let mut gen = LoadGen::new(workload, self.seed);
+        let mut gen = LoadGen::new(workload, self.seed).expect("workload mix is sampleable");
         for (t, f, b) in gen.arrivals(self.rate_rps, self.requests) {
             server.push_request(t, f, b);
         }

@@ -263,7 +263,7 @@ impl FailoverCampaign {
         let semantics = cfg.semantics.label();
         let mut cluster =
             ClusterDispatcher::new(cfg, workload.registry.clone()).expect("valid cluster config");
-        let mut gen = LoadGen::new(workload, self.seed);
+        let mut gen = LoadGen::new(workload, self.seed).expect("workload mix is sampleable");
         for (t, f, b) in gen.arrivals(self.rate_rps, self.requests) {
             cluster.push_request(t, f, b);
         }

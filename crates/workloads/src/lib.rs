@@ -13,8 +13,11 @@
 //!
 //! The crate also provides:
 //!
-//! * [`LoadGen`] — a wrk2-style open-loop generator with Poisson arrivals
-//!   and per-workload entry-point mixes (§5),
+//! * [`LoadGen`] — a wrk2-style open-loop generator with per-workload
+//!   entry-point mixes (§5) and, beyond the paper's Poisson process, the
+//!   non-stationary [`ArrivalProcess`] shapes (diurnal sinusoid,
+//!   flash-crowd step, Markov-modulated bursts) that drive autoscaling
+//!   studies,
 //! * [`runner`] — one-call drivers that assemble a server (any Jord
 //!   variant or NightCore), inject a load, and return the measurement
 //!   report,
@@ -31,7 +34,12 @@
 //! * [`failover`] — cluster campaigns that run N workers behind a
 //!   [`jord_core::ClusterDispatcher`], kill or partition one mid-run, and
 //!   assert the phi-accrual detector convicts within its configured bound
-//!   while cross-worker failover keeps the ledger balanced.
+//!   while cross-worker failover keeps the ledger balanced,
+//! * [`autoscale`] — overload-survival campaigns: flash-crowd, diurnal,
+//!   and bursty traffic against the SLO-driven
+//!   [`jord_core::ClusterAutoscaler`] and its brownout ladder, reporting
+//!   cost-vs-SLO (worker-seconds bought vs load shed) and asserting zero
+//!   lost requests even when a crash races a scale-down drain.
 //!
 //! # Example
 //!
@@ -42,7 +50,7 @@
 //! let workload = Workload::build(WorkloadKind::Hotel);
 //! let mut server = WorkerServer::new(RuntimeConfig::jord_32(), workload.registry.clone()).unwrap();
 //! // 2000 requests at 1 MRPS.
-//! let mut gen = LoadGen::new(&workload, 7);
+//! let mut gen = LoadGen::new(&workload, 7).unwrap();
 //! for (t, func, bytes) in gen.arrivals(1.0e6, 2000) {
 //!     server.push_request(t, func, bytes);
 //! }
@@ -51,6 +59,7 @@
 //! ```
 
 pub mod apps;
+pub mod autoscale;
 pub mod chaos;
 pub mod crash;
 pub mod failover;
@@ -59,9 +68,10 @@ pub mod runner;
 pub mod slo;
 
 pub use apps::{EntryPoint, Workload, WorkloadKind};
+pub use autoscale::{AutoscaleCampaign, AutoscalePoint, AutoscaleReport};
 pub use chaos::{ChaosPoint, ChaosReport, ChaosSpec};
 pub use crash::{CrashCampaign, CrashPoint, CrashReport};
 pub use failover::{FailoverCampaign, FailoverPoint, FailoverReport};
-pub use loadgen::LoadGen;
+pub use loadgen::{ArrivalProcess, LoadGen};
 pub use runner::{run_system, SweepPoint, System};
-pub use slo::{measure_slo, throughput_under_slo};
+pub use slo::{measure_slo, throughput_under_slo, SloError};

@@ -6,13 +6,170 @@
 //! queueing delay shows up in the measured latency instead of silently
 //! throttling the load (the coordinated-omission trap wrk2 exists to
 //! avoid).
+//!
+//! Beyond the paper's stationary Poisson process, [`ArrivalProcess`]
+//! models the non-stationary traffic that drives autoscaling studies: a
+//! diurnal sinusoid, a flash-crowd step (rate ×K for a window), and a
+//! two-state Markov-modulated Poisson process (bursty on/off traffic).
+//! Time-varying rates are sampled with Lewis–Shedler thinning: candidate
+//! arrivals are drawn from a homogeneous Poisson process at the peak rate
+//! and accepted with probability `rate(t) / peak` — exact for any bounded
+//! rate function, and still a pure function of the seed.
 
-use jord_core::FunctionId;
+use jord_core::{ConfigError, FunctionId};
 use jord_sim::{Rng, SimDuration, SimTime};
 
 use crate::apps::Workload;
 
-/// An open-loop Poisson request generator over a workload's entry mix.
+/// The arrival-time law an open-loop load follows.
+///
+/// Every variant is parameterized by a *base* rate given at generation
+/// time; the process shapes how the instantaneous rate moves around it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Stationary Poisson arrivals at the base rate (the paper's §5
+    /// generator).
+    Poisson,
+    /// A sinusoidal day/night swing:
+    /// `rate(t) = base · (1 + amplitude · sin(2πt / period))`.
+    Diurnal {
+        /// Period of one full cycle, µs of simulated time.
+        period_us: f64,
+        /// Swing around the base rate, in `[0, 1)` so the trough stays
+        /// positive.
+        amplitude: f64,
+    },
+    /// A flash crowd: the rate steps to `base · factor` for a window and
+    /// back.
+    FlashCrowd {
+        /// When the crowd arrives, µs.
+        at_us: f64,
+        /// Rate multiplier during the crowd (≥ 1).
+        factor: f64,
+        /// How long the crowd stays, µs.
+        duration_us: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: exponentially
+    /// distributed quiet phases at the base rate alternate with burst
+    /// phases at `base · burst_factor`.
+    MarkovBurst {
+        /// Rate multiplier inside a burst (≥ 1).
+        burst_factor: f64,
+        /// Mean quiet-phase length, µs.
+        mean_normal_us: f64,
+        /// Mean burst-phase length, µs.
+        mean_burst_us: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short label for tables and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+            ArrivalProcess::FlashCrowd { .. } => "flash-crowd",
+            ArrivalProcess::MarkovBurst { .. } => "markov-burst",
+        }
+    }
+
+    /// Validates the shape parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let bad = |reason: String| Err(ConfigError::Workload { reason });
+        match *self {
+            ArrivalProcess::Poisson => Ok(()),
+            ArrivalProcess::Diurnal {
+                period_us,
+                amplitude,
+            } => {
+                if !(period_us > 0.0 && period_us.is_finite()) {
+                    return bad(format!("diurnal period must be positive, got {period_us}"));
+                }
+                if !(0.0..1.0).contains(&amplitude) {
+                    return bad(format!(
+                        "diurnal amplitude must be in [0, 1) so the trough rate \
+                         stays positive, got {amplitude}"
+                    ));
+                }
+                Ok(())
+            }
+            ArrivalProcess::FlashCrowd {
+                at_us,
+                factor,
+                duration_us,
+            } => {
+                if !(at_us >= 0.0 && at_us.is_finite()) {
+                    return bad(format!(
+                        "flash crowd start must be non-negative, got {at_us}"
+                    ));
+                }
+                if !(factor >= 1.0 && factor.is_finite()) {
+                    return bad(format!(
+                        "flash crowd factor must be at least 1, got {factor}"
+                    ));
+                }
+                if !(duration_us > 0.0 && duration_us.is_finite()) {
+                    return bad(format!(
+                        "flash crowd duration must be positive, got {duration_us}"
+                    ));
+                }
+                Ok(())
+            }
+            ArrivalProcess::MarkovBurst {
+                burst_factor,
+                mean_normal_us,
+                mean_burst_us,
+            } => {
+                if !(burst_factor >= 1.0 && burst_factor.is_finite()) {
+                    return bad(format!(
+                        "burst factor must be at least 1, got {burst_factor}"
+                    ));
+                }
+                if !(mean_normal_us > 0.0 && mean_burst_us > 0.0) {
+                    return bad(format!(
+                        "phase means must be positive, got normal {mean_normal_us} / \
+                         burst {mean_burst_us}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The instantaneous rate at `t_us`, for a base rate of `base_rps`.
+    pub fn rate_at(&self, base_rps: f64, t_us: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson | ArrivalProcess::MarkovBurst { .. } => base_rps,
+            ArrivalProcess::Diurnal {
+                period_us,
+                amplitude,
+            } => base_rps * (1.0 + amplitude * (std::f64::consts::TAU * t_us / period_us).sin()),
+            ArrivalProcess::FlashCrowd {
+                at_us,
+                factor,
+                duration_us,
+            } => {
+                if t_us >= at_us && t_us < at_us + duration_us {
+                    base_rps * factor
+                } else {
+                    base_rps
+                }
+            }
+        }
+    }
+
+    /// The thinning envelope: the highest rate the process ever reaches.
+    pub fn peak_rate(&self, base_rps: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson => base_rps,
+            ArrivalProcess::Diurnal { amplitude, .. } => base_rps * (1.0 + amplitude),
+            ArrivalProcess::FlashCrowd { factor, .. } => base_rps * factor,
+            ArrivalProcess::MarkovBurst { burst_factor, .. } => base_rps * burst_factor,
+        }
+    }
+}
+
+/// An open-loop request generator over a workload's entry mix.
 #[derive(Debug)]
 pub struct LoadGen {
     rng: Rng,
@@ -22,8 +179,29 @@ pub struct LoadGen {
 
 impl LoadGen {
     /// Creates a generator for `workload` seeded with `seed`.
-    pub fn new(workload: &Workload, seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a workload whose entry mix cannot be sampled: no entries,
+    /// a negative or non-finite weight, or weights summing to zero (the
+    /// normalization would divide by zero).
+    pub fn new(workload: &Workload, seed: u64) -> Result<Self, ConfigError> {
+        let bad = |reason: String| Err(ConfigError::Workload { reason });
+        if workload.entries.is_empty() {
+            return bad("workload has no entry points to draw from".into());
+        }
+        for e in &workload.entries {
+            if !(e.weight >= 0.0 && e.weight.is_finite()) {
+                return bad(format!(
+                    "entry weight must be finite and non-negative, got {}",
+                    e.weight
+                ));
+            }
+        }
         let total: f64 = workload.entries.iter().map(|e| e.weight).sum();
+        if total <= 0.0 {
+            return bad("entry weights sum to zero; the mix cannot be normalized".into());
+        }
         let mut acc = 0.0;
         let mix = workload
             .entries
@@ -33,10 +211,10 @@ impl LoadGen {
                 (acc, e.func, e.arg_bytes)
             })
             .collect();
-        LoadGen {
+        Ok(LoadGen {
             rng: Rng::new(seed ^ 0x6f70_656e_6c6f_6f70),
             mix,
-        }
+        })
     }
 
     /// Draws one entry point from the mix.
@@ -51,12 +229,6 @@ impl LoadGen {
         (func, bytes)
     }
 
-    /// Generates `n` arrivals at `rate_rps` requests per second (Poisson:
-    /// exponential inter-arrival times with mean `1/rate`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate_rps` is not positive.
     /// Generates arrivals from an explicit timestamp trace (e.g. replayed
     /// from a production log, as cold-start studies do with the Azure
     /// traces); the entry-point mix is still drawn per request.
@@ -79,6 +251,12 @@ impl LoadGen {
             .collect()
     }
 
+    /// Generates `n` arrivals at `rate_rps` requests per second (Poisson:
+    /// exponential inter-arrival times with mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not positive.
     pub fn arrivals(&mut self, rate_rps: f64, n: usize) -> Vec<(SimTime, FunctionId, u64)> {
         assert!(rate_rps > 0.0, "rate must be positive");
         let mean_ns = 1e9 / rate_rps;
@@ -91,6 +269,109 @@ impl LoadGen {
             })
             .collect()
     }
+
+    /// Generates `n` arrivals following `process` around a base rate of
+    /// `base_rps`.
+    ///
+    /// [`ArrivalProcess::Poisson`] reduces to [`LoadGen::arrivals`] (same
+    /// draws, same trace). The time-varying shapes use Lewis–Shedler
+    /// thinning at the process's peak rate; [`ArrivalProcess::MarkovBurst`]
+    /// simulates its phase chain explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not positive or the process parameters are
+    /// invalid (validate with [`ArrivalProcess::validate`] first to get a
+    /// typed error).
+    pub fn arrivals_with(
+        &mut self,
+        process: &ArrivalProcess,
+        base_rps: f64,
+        n: usize,
+    ) -> Vec<(SimTime, FunctionId, u64)> {
+        assert!(base_rps > 0.0, "rate must be positive");
+        if let Err(e) = process.validate() {
+            panic!("invalid arrival process: {e}");
+        }
+        match *process {
+            ArrivalProcess::Poisson => self.arrivals(base_rps, n),
+            ArrivalProcess::MarkovBurst {
+                burst_factor,
+                mean_normal_us,
+                mean_burst_us,
+            } => self.mmpp_arrivals(base_rps, burst_factor, mean_normal_us, mean_burst_us, n),
+            _ => self.thinned_arrivals(process, base_rps, n),
+        }
+    }
+
+    /// Lewis–Shedler thinning: draw candidates at the peak rate, accept
+    /// each with probability `rate(t) / peak`. Both the candidate gap and
+    /// the acceptance coin come from the one seeded stream, so the trace
+    /// is reproducible.
+    fn thinned_arrivals(
+        &mut self,
+        process: &ArrivalProcess,
+        base_rps: f64,
+        n: usize,
+    ) -> Vec<(SimTime, FunctionId, u64)> {
+        let peak = process.peak_rate(base_rps);
+        let mean_ns = 1e9 / peak;
+        let mut t_ns = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            t_ns += self.rng.exponential(mean_ns);
+            let rate = process.rate_at(base_rps, t_ns / 1e3);
+            if self.rng.next_f64() * peak <= rate {
+                let (func, bytes) = self.draw();
+                out.push((SimTime::from_ns(t_ns as u64), func, bytes));
+            }
+        }
+        out
+    }
+
+    /// Explicit two-state MMPP: alternate exponentially long quiet/burst
+    /// phases; within a phase, arrivals are Poisson at that phase's rate.
+    /// Crossing a phase boundary discards the in-flight gap — exponential
+    /// inter-arrivals are memoryless, so redrawing at the new rate is
+    /// exact.
+    fn mmpp_arrivals(
+        &mut self,
+        base_rps: f64,
+        burst_factor: f64,
+        mean_normal_us: f64,
+        mean_burst_us: f64,
+        n: usize,
+    ) -> Vec<(SimTime, FunctionId, u64)> {
+        let mut in_burst = false;
+        let mut phase_left_ns = self.rng.exponential(mean_normal_us * 1e3);
+        let mut t_ns = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let rate = if in_burst {
+                base_rps * burst_factor
+            } else {
+                base_rps
+            };
+            let gap = self.rng.exponential(1e9 / rate);
+            if gap < phase_left_ns {
+                t_ns += gap;
+                phase_left_ns -= gap;
+                let (func, bytes) = self.draw();
+                out.push((SimTime::from_ns(t_ns as u64), func, bytes));
+            } else {
+                t_ns += phase_left_ns;
+                in_burst = !in_burst;
+                phase_left_ns = self.rng.exponential(
+                    (if in_burst {
+                        mean_burst_us
+                    } else {
+                        mean_normal_us
+                    }) * 1e3,
+                );
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +380,7 @@ mod tests {
     use crate::apps::WorkloadKind;
 
     fn gen() -> LoadGen {
-        LoadGen::new(&Workload::build(WorkloadKind::Hotel), 3)
+        LoadGen::new(&Workload::build(WorkloadKind::Hotel), 3).unwrap()
     }
 
     #[test]
@@ -126,7 +407,7 @@ mod tests {
     #[test]
     fn mix_fractions_match_weights() {
         let w = Workload::build(WorkloadKind::Hotel);
-        let mut g = LoadGen::new(&w, 5);
+        let mut g = LoadGen::new(&w, 5).unwrap();
         let arr = g.arrivals(1.0e6, 100_000);
         let sn = w.entries[0].func;
         let frac = arr.iter().filter(|(_, f, _)| *f == sn).count() as f64 / arr.len() as f64;
@@ -135,8 +416,12 @@ mod tests {
 
     #[test]
     fn same_seed_reproduces_the_trace() {
-        let a = LoadGen::new(&Workload::build(WorkloadKind::Media), 11).arrivals(1.5e6, 1000);
-        let b = LoadGen::new(&Workload::build(WorkloadKind::Media), 11).arrivals(1.5e6, 1000);
+        let a = LoadGen::new(&Workload::build(WorkloadKind::Media), 11)
+            .unwrap()
+            .arrivals(1.5e6, 1000);
+        let b = LoadGen::new(&Workload::build(WorkloadKind::Media), 11)
+            .unwrap()
+            .arrivals(1.5e6, 1000);
         assert_eq!(a, b);
     }
 
@@ -144,6 +429,30 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         gen().arrivals(0.0, 1);
+    }
+
+    #[test]
+    fn empty_and_zero_weight_mixes_are_rejected() {
+        let mut w = Workload::build(WorkloadKind::Hotel);
+        w.entries.clear();
+        assert!(
+            matches!(LoadGen::new(&w, 1), Err(ConfigError::Workload { .. })),
+            "an empty mix must be rejected, not divide by zero"
+        );
+        let mut w = Workload::build(WorkloadKind::Hotel);
+        for e in &mut w.entries {
+            e.weight = 0.0;
+        }
+        assert!(
+            matches!(LoadGen::new(&w, 1), Err(ConfigError::Workload { .. })),
+            "an all-zero mix must be rejected, not divide by zero"
+        );
+        let mut w = Workload::build(WorkloadKind::Hotel);
+        w.entries[0].weight = f64::NAN;
+        assert!(
+            matches!(LoadGen::new(&w, 1), Err(ConfigError::Workload { .. })),
+            "a NaN weight must be rejected"
+        );
     }
 
     #[test]
@@ -163,5 +472,138 @@ mod tests {
     fn backwards_trace_panics() {
         let mut g = gen();
         g.arrivals_from_trace(&[SimTime::from_ns(10), SimTime::from_ns(5)]);
+    }
+
+    #[test]
+    fn poisson_process_reduces_to_plain_arrivals() {
+        let a = gen().arrivals(1.0e6, 2_000);
+        let b = gen().arrivals_with(&ArrivalProcess::Poisson, 1.0e6, 2_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals_in_the_window() {
+        let mut g = gen();
+        let crowd = ArrivalProcess::FlashCrowd {
+            at_us: 200.0,
+            factor: 4.0,
+            duration_us: 200.0,
+        };
+        let arr = g.arrivals_with(&crowd, 1.0e6, 4_000);
+        assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
+        let in_crowd = arr
+            .iter()
+            .filter(|(t, _, _)| (200.0..400.0).contains(&t.as_us_f64()))
+            .count();
+        let before = arr.iter().filter(|(t, _, _)| t.as_us_f64() < 200.0).count();
+        // 200 µs at 4 MRPS ≈ 800 arrivals vs ≈ 200 in the quiet window
+        // of the same length before the step.
+        assert!(
+            in_crowd as f64 > 2.5 * before as f64,
+            "crowd window must be dense: {in_crowd} vs {before} before"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_swings_between_peak_and_trough() {
+        let mut g = gen();
+        let diurnal = ArrivalProcess::Diurnal {
+            period_us: 1_000.0,
+            amplitude: 0.8,
+        };
+        let arr = g.arrivals_with(&diurnal, 1.0e6, 10_000);
+        assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
+        // First quarter-period (sin > 0, near peak) vs third (sin < 0).
+        let peak = arr
+            .iter()
+            .filter(|(t, _, _)| (0.0..250.0).contains(&t.as_us_f64()))
+            .count();
+        let trough = arr
+            .iter()
+            .filter(|(t, _, _)| (500.0..750.0).contains(&t.as_us_f64()))
+            .count();
+        assert!(
+            peak as f64 > 2.0 * trough as f64,
+            "diurnal peak ({peak}) must out-arrive the trough ({trough})"
+        );
+    }
+
+    #[test]
+    fn markov_bursts_are_overdispersed() {
+        let mut g = gen();
+        let mmpp = ArrivalProcess::MarkovBurst {
+            burst_factor: 8.0,
+            mean_normal_us: 100.0,
+            mean_burst_us: 100.0,
+        };
+        let arr = g.arrivals_with(&mmpp, 0.5e6, 20_000);
+        assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Per-100µs-bucket arrival counts must vary far more than a plain
+        // Poisson process's (whose index of dispersion is 1).
+        let span_us = arr.last().unwrap().0.as_us_f64();
+        let buckets = (span_us / 100.0).ceil() as usize;
+        let mut counts = vec![0.0f64; buckets];
+        for (t, _, _) in &arr {
+            counts[((t.as_us_f64() / 100.0) as usize).min(buckets - 1)] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / buckets as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / buckets as f64;
+        assert!(
+            var / mean > 2.0,
+            "MMPP must be overdispersed: index of dispersion {:.2}",
+            var / mean
+        );
+    }
+
+    #[test]
+    fn process_traces_are_reproducible() {
+        let crowd = ArrivalProcess::FlashCrowd {
+            at_us: 100.0,
+            factor: 3.0,
+            duration_us: 50.0,
+        };
+        let a = gen().arrivals_with(&crowd, 1.0e6, 3_000);
+        let b = gen().arrivals_with(&crowd, 1.0e6, 3_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_process_parameters_are_typed_errors() {
+        for p in [
+            ArrivalProcess::Diurnal {
+                period_us: 0.0,
+                amplitude: 0.5,
+            },
+            ArrivalProcess::Diurnal {
+                period_us: 100.0,
+                amplitude: 1.0,
+            },
+            ArrivalProcess::FlashCrowd {
+                at_us: -1.0,
+                factor: 2.0,
+                duration_us: 10.0,
+            },
+            ArrivalProcess::FlashCrowd {
+                at_us: 0.0,
+                factor: 0.5,
+                duration_us: 10.0,
+            },
+            ArrivalProcess::MarkovBurst {
+                burst_factor: 0.9,
+                mean_normal_us: 10.0,
+                mean_burst_us: 10.0,
+            },
+            ArrivalProcess::MarkovBurst {
+                burst_factor: 2.0,
+                mean_normal_us: 0.0,
+                mean_burst_us: 10.0,
+            },
+        ] {
+            assert!(
+                matches!(p.validate(), Err(ConfigError::Workload { .. })),
+                "{p:?} must be rejected"
+            );
+        }
+        assert!(ArrivalProcess::Poisson.validate().is_ok());
     }
 }

@@ -114,7 +114,7 @@ impl RunSpec {
 
 /// Executes a [`RunSpec`] (free-function form).
 pub fn run_spec(spec: &RunSpec, workload: &Workload) -> RunReport {
-    let mut gen = LoadGen::new(workload, spec.seed);
+    let mut gen = LoadGen::new(workload, spec.seed).expect("workload mix is sampleable");
     let arrivals = gen.arrivals(spec.rate_rps, spec.requests + spec.warmup);
     match spec.system {
         System::NightCore => {

@@ -12,7 +12,7 @@ use jord::prelude::*;
 
 fn main() {
     let workload = Workload::build(WorkloadKind::Hotel);
-    let slo = measure_slo(&workload, 0.05e6, 2_000);
+    let slo = measure_slo(&workload, 0.05e6, 2_000).expect("probe produced latencies");
     println!(
         "Hotel SLO = {:.1} us (10x Jord_NI latency at 50 kRPS)",
         slo.as_us_f64()
@@ -20,7 +20,8 @@ fn main() {
 
     let loads: Vec<f64> = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0].map(|x| x * 1e6).into();
     for system in [System::Jord, System::JordBt] {
-        let (points, best) = throughput_under_slo(system, &workload, &loads, slo, 4_000);
+        let (points, best) = throughput_under_slo(system, &workload, &loads, slo, 4_000)
+            .expect("sweep produced latencies");
         println!("\n{:10}  p99 by load:", system.label());
         for p in &points {
             let marker = if p.p99_us <= slo.as_us_f64() {

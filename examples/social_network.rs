@@ -20,7 +20,7 @@ fn main() {
     );
 
     // The paper's SLO: 10× the minimal-load service time on Jord_NI.
-    let slo = measure_slo(&workload, 0.05e6, 2_000);
+    let slo = measure_slo(&workload, 0.05e6, 2_000).expect("probe produced latencies");
     println!(
         "SLO: {:.1} us (10x Jord_NI minimal-load latency)\n",
         slo.as_us_f64()

@@ -108,7 +108,7 @@ fn nightcore_fails_hipster_slo_even_at_minimum_load() {
     // §6.1: "NightCore fails to meet the SLO even under minimum load" on
     // the communication-heavy workloads.
     let w = Workload::build(WorkloadKind::Hipster);
-    let slo = measure_slo(&w, 0.05e6, 1_000);
+    let slo = measure_slo(&w, 0.05e6, 1_000).expect("probe produced latencies");
     let rep = RunSpec::new(System::NightCore, 0.05e6)
         .requests(1_000, 100)
         .run(&w);

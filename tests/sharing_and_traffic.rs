@@ -114,7 +114,7 @@ fn trace_replay_is_deterministic() {
     let w = Workload::build(WorkloadKind::Hotel);
     let trace: Vec<SimTime> = (0..1_000u64).map(|i| SimTime::from_ns(i * 900)).collect();
     let run = || {
-        let mut gen = LoadGen::new(&w, 5);
+        let mut gen = LoadGen::new(&w, 5).unwrap();
         let mut server = WorkerServer::new(RuntimeConfig::jord_32(), w.registry.clone()).unwrap();
         for (t, f, b) in gen.arrivals_from_trace(&trace) {
             server.push_request(t, f, b);
