@@ -35,6 +35,7 @@ use jord_sim::SimTime;
 
 use crate::admission::BrownoutLevel;
 use crate::config::ConfigError;
+use crate::memory::MemoryPressure;
 
 /// Brownout entry/exit thresholds (per-worker mean queue depth).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,6 +203,12 @@ pub struct WindowSignals {
     pub shed: u64,
     /// Workers currently phi-suspected.
     pub suspects: usize,
+    /// The worst memory-pressure level across active workers. `Critical`
+    /// vetoes scale-up (a fleet that cannot hold its working set must
+    /// shed load, not multiply the leak), freezes scale-down (retiring
+    /// capacity concentrates the working set on fewer workers), and
+    /// forces the brownout ladder to at least `Degraded`.
+    pub pressure: MemoryPressure,
 }
 
 impl WindowSignals {
@@ -308,6 +315,7 @@ impl ClusterAutoscaler {
             && sig.mean_queue_depth <= self.cfg.queue_low
             && sig.shed == 0
             && sig.suspects == 0
+            && sig.pressure == MemoryPressure::Normal
             && self.brownout == BrownoutLevel::Normal;
         if hot {
             self.hot_streak += 1;
@@ -327,6 +335,7 @@ impl ClusterAutoscaler {
             ScaleDecision::Hold
         } else if self.hot_streak >= self.cfg.up_windows
             && sig.active_workers < self.cfg.max_workers
+            && sig.pressure < MemoryPressure::Critical
         {
             let step = self
                 .cfg
@@ -374,7 +383,12 @@ impl ClusterAutoscaler {
         };
         let b = self.cfg.brownout;
         let severe = sig.mean_queue_depth >= b.shed_heavy_depth || over_double;
-        let pressured = sig.mean_queue_depth >= b.degraded_depth || over_target;
+        // Critical memory pressure degrades admission: the workers have
+        // already evicted their warm pools (reclamation before shedding),
+        // so shedding load is the only defence left.
+        let pressured = sig.mean_queue_depth >= b.degraded_depth
+            || over_target
+            || sig.pressure >= MemoryPressure::Critical;
         if severe {
             self.brownout = BrownoutLevel::ShedHeavy;
             self.calm_streak = 0;
@@ -414,6 +428,7 @@ mod tests {
             completed: 100,
             shed: 0,
             suspects: 0,
+            pressure: MemoryPressure::Normal,
         }
     }
 
@@ -555,6 +570,61 @@ mod tests {
             assert_ne!(d.brownout, BrownoutLevel::Normal);
             assert_eq!(d.decision, ScaleDecision::Hold);
         }
+    }
+
+    #[test]
+    fn critical_pressure_vetoes_scale_up_and_forces_brownout() {
+        let mut a = ClusterAutoscaler::new(AutoscalerConfig {
+            cooldown_us: 0.0,
+            up_windows: 1,
+            down_windows: 1,
+            ..AutoscalerConfig::default()
+        })
+        .unwrap();
+        // Hot *and* critically pressured: adding workers would multiply
+        // the leak, so the engine holds and degrades admission instead.
+        let hot_pressured = WindowSignals {
+            pressure: MemoryPressure::Critical,
+            ..hot(0, 2)
+        };
+        let d = a.evaluate(&hot_pressured);
+        assert_eq!(d.decision, ScaleDecision::Hold, "scale-up vetoed");
+        assert_eq!(d.brownout, BrownoutLevel::Degraded, "pressure degrades");
+        // Calm queues but still pressured: no scale-down either, and no
+        // cold streak accrues (the window is not calm on every axis).
+        let calm_pressured = WindowSignals {
+            pressure: MemoryPressure::Critical,
+            ..calm(1, 4)
+        };
+        a.evaluate(&calm_pressured);
+        assert_eq!(
+            a.evaluate(&WindowSignals {
+                at: SimTime::from_us(40),
+                ..calm_pressured
+            })
+            .decision,
+            ScaleDecision::Hold,
+            "no scale-down while the fleet cannot hold its working set"
+        );
+        // Elevated pressure alone neither vetoes nor degrades: the
+        // workers' governors reclaim the cold tail first.
+        let mut b = ClusterAutoscaler::new(AutoscalerConfig {
+            cooldown_us: 0.0,
+            up_windows: 1,
+            ..AutoscalerConfig::default()
+        })
+        .unwrap();
+        let hot_elevated = WindowSignals {
+            pressure: MemoryPressure::Elevated,
+            ..hot(0, 2)
+        };
+        let d = b.evaluate(&hot_elevated);
+        assert_eq!(d.decision, ScaleDecision::Up(2), "elevated does not veto");
+        assert_eq!(
+            d.brownout,
+            BrownoutLevel::Normal,
+            "eviction before shedding"
+        );
     }
 
     #[test]

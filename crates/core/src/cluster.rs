@@ -48,6 +48,7 @@ use crate::config::{ConfigError, RuntimeConfig};
 use crate::events::{NoticeOutcome, WorkerNotice};
 use crate::function::{FunctionId, FunctionRegistry};
 use crate::health::{DetectorConfig, PhiAccrual, WorkerHealth};
+use crate::memory::{MemoryLedger, MemoryPressure};
 use crate::recovery::{CrashConfig, CrashSemantics};
 use crate::server::WorkerServer;
 use crate::stats::{AutoscaleStats, FailoverStats, RunReport};
@@ -352,6 +353,11 @@ pub struct WindowRecord {
     pub decision: ScaleDecision,
     /// The brownout level in force after this evaluation.
     pub brownout: BrownoutLevel,
+    /// Summed resident bytes across active workers at evaluation — the
+    /// soak campaign's bounded-memory witness series.
+    pub resident_bytes: u64,
+    /// Worst memory pressure across active workers at evaluation.
+    pub pressure: MemoryPressure,
 }
 
 /// The result of a cluster run.
@@ -386,6 +392,10 @@ pub struct ClusterReport {
     /// order: one number that changes if any worker's event stream
     /// changes. Golden-trace determinism tests key on this.
     pub trace_hash: u64,
+    /// Fleet memory ledger: every worker's sealed [`MemoryLedger`]
+    /// merged. Each summand satisfied `mapped == resident + reclaimed`
+    /// at its own seal, so the merge does too.
+    pub memory: MemoryLedger,
 }
 
 impl ClusterReport {
@@ -823,7 +833,10 @@ impl ClusterDispatcher {
     }
 
     /// Completes a retirement once the worker is empty: no outstanding
-    /// copies, no live request rows.
+    /// copies, no live request rows. The retired slot's warm PD pool is
+    /// released through the ledger-accounted path — a retired worker
+    /// holding warm PDs would leak resident bytes the fleet can never
+    /// reclaim.
     fn maybe_finish_retire(&mut self, t: SimTime, w: usize) {
         let slot = &mut self.slots[w];
         if slot.retiring
@@ -835,6 +848,7 @@ impl ClusterDispatcher {
             slot.retired = true;
             slot.retired_at = t;
             slot.health = WorkerHealth::Retired;
+            slot.server.release_warm_pool();
         }
     }
 
@@ -977,10 +991,15 @@ impl ClusterDispatcher {
                 // its way out anyway, so recovery finalizes the
                 // retirement instead of rebooting into probation. Its
                 // stranded requests are re-routed below like any other
-                // crash victim's — retirement loses nothing.
+                // crash victim's — retirement loses nothing. The reboot
+                // came up with an empty warm pool, but release it through
+                // the accounted path anyway so the invariant "a retired
+                // slot holds no pooled PDs" does not depend on crash
+                // recovery details.
                 slot.retired = true;
                 slot.retired_at = t;
                 slot.health = WorkerHealth::Retired;
+                slot.server.release_warm_pool();
             } else {
                 slot.hb_resume_at = t + us_dur(self.cfg.restart_penalty_us);
                 // Health stays Evicted: probation heartbeats after the
@@ -1068,6 +1087,19 @@ impl ClusterDispatcher {
             .filter(|&&w| self.slots[w].health == WorkerHealth::Suspected)
             .count();
         let p99_us = self.win_latency.p99().map(|d| d.as_ns_f64() / 1_000.0);
+        // Fleet memory view: the scaler reacts to the *worst* worker
+        // (one critical worker vetoes scale-up fleet-wide), while the
+        // summed resident series is the soak campaign's bounded-memory
+        // witness.
+        let pressure = active
+            .iter()
+            .map(|&w| self.slots[w].server.memory_pressure())
+            .max()
+            .unwrap_or_default();
+        let resident_bytes: u64 = active
+            .iter()
+            .map(|&w| self.slots[w].server.resident_bytes())
+            .sum();
         let sig = WindowSignals {
             at: t,
             active_workers: active.len(),
@@ -1077,6 +1109,7 @@ impl ClusterDispatcher {
             completed: self.win_completed,
             shed: self.win_shed,
             suspects,
+            pressure,
         };
         let directive: Directive = self
             .autoscaler
@@ -1132,6 +1165,8 @@ impl ClusterDispatcher {
             shed: self.win_shed,
             decision: directive.decision,
             brownout: directive.brownout,
+            resident_bytes,
+            pressure,
         });
         self.win_offered = 0;
         self.win_completed = 0;
@@ -1272,6 +1307,7 @@ impl ClusterDispatcher {
             autoscale: self.autoscale_stats,
             windows: self.windows.clone(),
             trace_hash,
+            memory: MemoryLedger::default(),
         };
         for req in &self.requests {
             match req.outcome {
@@ -1285,6 +1321,7 @@ impl ClusterDispatcher {
             let mut rep = slot.server.seal();
             rep.failover = slot.stats;
             report.failover.merge(&slot.stats);
+            report.memory.merge(&rep.memory);
             report.workers.push(rep);
         }
         debug_assert_eq!(
@@ -1293,6 +1330,10 @@ impl ClusterDispatcher {
             "cluster conservation: every request must have exactly one outcome"
         );
         debug_assert_eq!(report.failover.lost, 0, "no request may vanish");
+        debug_assert!(
+            report.memory.balanced(),
+            "fleet memory conservation: mapped == resident + reclaimed"
+        );
         report
     }
 }

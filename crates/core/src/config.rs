@@ -5,6 +5,7 @@ use core::fmt;
 use jord_hw::{InjectConfig, MachineConfig};
 use jord_privlib::{IsolationMode, PrivError, TableChoice};
 
+use crate::memory::MemoryConfig;
 use crate::recovery::CrashConfig;
 
 /// A problem detected while validating or booting a runtime configuration.
@@ -49,6 +50,11 @@ pub enum ConfigError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The memory-governor configuration is malformed.
+    Memory {
+        /// What is wrong with it.
+        reason: String,
+    },
     /// A workload description (mix, arrival process) is malformed.
     Workload {
         /// What is wrong with it.
@@ -77,6 +83,7 @@ impl fmt::Display for ConfigError {
             ConfigError::Recovery { reason } => write!(f, "invalid recovery policy: {reason}"),
             ConfigError::Crash { reason } => write!(f, "invalid crash config: {reason}"),
             ConfigError::Cluster { reason } => write!(f, "invalid cluster config: {reason}"),
+            ConfigError::Memory { reason } => write!(f, "invalid memory config: {reason}"),
             ConfigError::Workload { reason } => write!(f, "invalid workload: {reason}"),
             ConfigError::NoFunctions => write!(f, "no functions deployed"),
             ConfigError::Boot(e) => write!(f, "runtime boot failed: {e}"),
@@ -302,6 +309,10 @@ pub struct RuntimeConfig {
     /// pooling the sanitized PD for the next invocation of the same
     /// function instead of destroying it.
     pub sanitize: bool,
+    /// Memory-governor tuning: the resident budget the pressure ladder is
+    /// anchored to, warm-pool idle/size eviction, and the VMA-table
+    /// compaction threshold.
+    pub memory: MemoryConfig,
 }
 
 impl RuntimeConfig {
@@ -330,6 +341,7 @@ impl RuntimeConfig {
             recovery: RecoveryPolicy::default(),
             crash: None,
             sanitize: false,
+            memory: MemoryConfig::default(),
         }
     }
 
@@ -377,6 +389,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Overrides the memory-governor tuning.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
     /// Number of executor threads.
     pub fn executors(&self) -> usize {
         self.machine.cores - self.orchestrators
@@ -416,6 +434,9 @@ impl RuntimeConfig {
                 .validate(self.orchestrators, self.executors())
                 .map_err(|reason| ConfigError::Crash { reason })?;
         }
+        self.memory
+            .validate()
+            .map_err(|reason| ConfigError::Memory { reason })?;
         Ok(())
     }
 }

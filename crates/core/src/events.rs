@@ -29,6 +29,7 @@ use crate::function::FunctionId;
 use crate::invocation::{Breakdown, InvocationId};
 use crate::journal::{InvocationJournal, PendingInvocation, PendingRetry};
 use crate::lifecycle::Effect;
+use crate::memory::{MemoryLedger, MemoryPressure};
 use crate::stats::{AutoscaleStats, CrashStats, RunReport, SanitizeStats};
 
 /// Capacity of the trace-sink ring buffer: enough to hold the tail of a
@@ -310,6 +311,29 @@ pub enum LifecycleEvent {
         /// When the change landed.
         at: SimTime,
     },
+    /// The memory governor evicted warm PDs from the pool (idle age, size
+    /// cap, or pressure). Stat-only but traced, so the reclamation
+    /// schedule is covered by the replay-identity hash without widening
+    /// the journal format — replay re-derives the same evictions from the
+    /// same deterministic governor hooks.
+    PoolEvicted {
+        /// Warm PDs released.
+        pds: u64,
+        /// Stack/heap bytes they returned.
+        bytes: u64,
+    },
+    /// The governor swept dead bookkeeping out of the VMA table.
+    TableCompacted {
+        /// Dead entries released by the sweep.
+        released: u64,
+    },
+    /// The worker crossed a memory-pressure threshold.
+    MemoryPressureChanged {
+        /// The new pressure level.
+        level: MemoryPressure,
+        /// Resident bytes that triggered the change.
+        resident: u64,
+    },
 }
 
 impl LifecycleEvent {
@@ -338,7 +362,10 @@ impl LifecycleEvent {
             | PdSanitized { .. }
             | CrashKilled { .. }
             | Replayed { .. }
-            | BrownoutChanged { .. } => None,
+            | BrownoutChanged { .. }
+            | PoolEvicted { .. }
+            | TableCompacted { .. }
+            | MemoryPressureChanged { .. } => None,
         }
     }
 
@@ -368,6 +395,9 @@ impl LifecycleEvent {
             CrashKilled { .. } => "CrashKilled",
             Replayed { .. } => "Replayed",
             BrownoutChanged { .. } => "BrownoutChanged",
+            PoolEvicted { .. } => "PoolEvicted",
+            TableCompacted { .. } => "TableCompacted",
+            MemoryPressureChanged { .. } => "MemoryPressureChanged",
         }
     }
 }
@@ -441,6 +471,11 @@ struct StatsSink {
     crash: CrashStats,
     sanitize: SanitizeStats,
     autoscale: AutoscaleStats,
+    /// Event-derived memory-governor activity (evictions, compactions,
+    /// pressure transitions). The byte truths come from the server at
+    /// seal; these counters come from the event stream — the two views
+    /// are folded together there.
+    memory: MemoryLedger,
     /// Current brownout level and when it was entered, for folding
     /// degraded-mode residency time into the report at seal.
     brownout: BrownoutLevel,
@@ -558,6 +593,17 @@ impl StatsSink {
                 self.fold_brownout(at);
                 self.brownout = level;
                 self.autoscale.brownout_transitions += 1;
+            }
+            LifecycleEvent::PoolEvicted { pds, bytes } => {
+                self.memory.pool_evictions += pds;
+                self.memory.evicted_bytes += bytes;
+            }
+            LifecycleEvent::TableCompacted { released } => {
+                self.memory.compactions += 1;
+                self.memory.compacted_slots += released;
+            }
+            LifecycleEvent::MemoryPressureChanged { .. } => {
+                self.memory.pressure_transitions += 1;
             }
             LifecycleEvent::Admitted { .. }
             | LifecycleEvent::ArgBufGranted { .. }
@@ -810,11 +856,18 @@ impl EventBus {
 
     /// Finalizes the run: folds the crash/sanitize counters and journal
     /// totals into the report and returns it, leaving the sinks empty.
+    ///
+    /// `memory` is the server-assembled byte ledger (PrivLib chokepoint
+    /// counters + pool + journal footprint); the event-derived governor
+    /// activity folds in here, and the conservation invariant
+    /// `mapped == resident + reclaimed` is checked next to the request
+    /// ledger's `offered == completed + failed + shed`.
     pub fn seal<'a>(
         &mut self,
         finished_at: SimTime,
         shootdown_ns: OnlineStats,
         dispatch: impl Iterator<Item = &'a OnlineStats>,
+        memory: MemoryLedger,
     ) -> RunReport {
         debug_assert!(
             self.stats.report.balanced(),
@@ -825,7 +878,22 @@ impl EventBus {
             self.stats.report.faults.failed,
             self.stats.report.faults.sheds,
         );
+        let mut memory = memory;
+        memory.pool_evictions = self.stats.memory.pool_evictions;
+        memory.evicted_bytes = self.stats.memory.evicted_bytes;
+        memory.compactions = self.stats.memory.compactions;
+        memory.compacted_slots = self.stats.memory.compacted_slots;
+        memory.pressure_transitions = self.stats.memory.pressure_transitions;
+        debug_assert!(
+            memory.balanced(),
+            "memory ledger must conserve: every byte mapped is resident or \
+             reclaimed (mapped {} != resident {} + reclaimed {})",
+            memory.mapped_bytes,
+            memory.resident_bytes,
+            memory.reclaimed_bytes,
+        );
         let mut report = std::mem::take(&mut self.stats.report);
+        report.memory = memory;
         for d in dispatch {
             report.dispatch_ns.merge(d);
         }
@@ -835,6 +903,13 @@ impl EventBus {
             report.crash.journal_records = j.len() as u64 + self.journal.retired_records;
             report.crash.checkpoints = j.checkpoints() + self.journal.retired_checkpoints;
         }
+        // Durable-log footprint rides the memory ledger too (it is not
+        // part of the mapped/resident/reclaimed conservation — the log
+        // lives outside the worker's address space).
+        report.memory.journal_bytes =
+            report.crash.journal_records * crate::memory::JOURNAL_RECORD_BYTES;
+        report.memory.checkpoint_bytes =
+            report.crash.checkpoints * crate::memory::CHECKPOINT_IMAGE_BYTES;
         report.sanitize = self.stats.sanitize;
         self.stats.fold_brownout(finished_at);
         report.autoscale = self.stats.autoscale;
@@ -960,7 +1035,12 @@ mod tests {
         bus.retire_journal();
         let img2 = bus.checkpoint_image().expect("fresh journal");
         assert_eq!(img2.at_record, 1, "fresh journal restarts at zero");
-        let report = bus.seal(SimTime::ZERO, OnlineStats::new(), std::iter::empty());
+        let report = bus.seal(
+            SimTime::ZERO,
+            OnlineStats::new(),
+            std::iter::empty(),
+            MemoryLedger::default(),
+        );
         // 1 retired record (the first checkpoint mark) + 1 in the fresh
         // journal; 2 checkpoints total.
         assert_eq!(report.crash.journal_records, 2);

@@ -54,6 +54,7 @@ pub mod health;
 pub mod invocation;
 pub mod journal;
 pub mod lifecycle;
+pub mod memory;
 pub mod orchestrator;
 pub mod recovery;
 pub mod server;
@@ -83,6 +84,10 @@ pub use journal::{
 };
 pub use lifecycle::{
     transition, Effect, InvocationState, LifecycleEngine, LifecycleError, RequestRow,
+};
+pub use memory::{
+    MemoryConfig, MemoryLedger, MemoryPressure, PdPool, PdPoolError, PooledPd,
+    CHECKPOINT_IMAGE_BYTES, JOURNAL_RECORD_BYTES,
 };
 pub use orchestrator::Orchestrator;
 pub use recovery::{CrashConfig, CrashSemantics};

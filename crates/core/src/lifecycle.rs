@@ -164,7 +164,10 @@ pub fn transition(
             | LifecycleEvent::PdSetup { .. }
             | LifecycleEvent::PdSanitized { .. }
             | LifecycleEvent::CrashKilled { .. }
-            | LifecycleEvent::Replayed { .. },
+            | LifecycleEvent::Replayed { .. }
+            | LifecycleEvent::PoolEvicted { .. }
+            | LifecycleEvent::TableCompacted { .. }
+            | LifecycleEvent::MemoryPressureChanged { .. },
             None,
         ) => Ok((None, vec![Stats, Trace])),
         _ => illegal,

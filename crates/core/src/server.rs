@@ -5,7 +5,7 @@ use jord_hw::types::{CoreId, PdId, Perm, Va};
 use jord_hw::{CrashPlan, Csr, Fault, FaultInjector, FaultKind, InjectionPlan, Machine};
 use jord_privlib::{os, PrivError, PrivLib};
 use jord_sim::{EventQueue, Rng, SimDuration, SimTime};
-use jord_vma::PdSnapshot;
+use jord_vma::SizeClass;
 
 use crate::admission::{AdmissionPolicy, BrownoutLevel, FailureDisposition};
 use crate::argbuf::ArgBuf;
@@ -18,6 +18,7 @@ use crate::function::{FuncOp, FunctionId, FunctionRegistry};
 use crate::invocation::{Invocation, InvocationId, InvocationSlab, Origin, Phase};
 use crate::journal::{InvocationJournal, PendingRetry, WorkerCheckpoint};
 use crate::lifecycle::LifecycleEngine;
+use crate::memory::{MemoryLedger, MemoryPressure, PdPool, PooledPd};
 use crate::orchestrator::Orchestrator;
 use crate::stats::RunReport;
 
@@ -122,9 +123,14 @@ pub struct WorkerServer {
     checkpoint: Option<WorkerCheckpoint>,
     /// The injected crash that has not fired yet.
     crash_pending: Option<CrashPlan>,
-    /// Per-function pools of sanitized PDs: `(pd, stackheap, snapshot)`
-    /// triples whose code grant and stack/heap mapping are still intact.
-    pd_pools: Vec<Vec<(PdId, Va, PdSnapshot)>>,
+    /// Warm sanitized PDs (code grant + stack/heap intact) with
+    /// working-set tracking and a claim registry — the memory governor's
+    /// reclamation target.
+    pd_pool: PdPool,
+    /// The memory-pressure level currently in force (governor-published).
+    pressure: MemoryPressure,
+    /// Highest resident-byte watermark seen at a governor tick.
+    peak_resident: u64,
 }
 
 /// Everything a pristine process image contains: the booted machine and
@@ -162,7 +168,7 @@ impl WorkerServer {
             .map(|ic| FaultInjector::new(ic, rng.fork(0xFA_17)));
         let bus = EventBus::new(cfg.crash.map(|_| InvocationJournal::new()), TRACE_CAPACITY);
         let crash_pending = cfg.crash.and_then(|c| c.plan);
-        let pd_pools = (0..registry.len()).map(|_| Vec::new()).collect();
+        let pd_pool = PdPool::new(registry.len());
         Ok(WorkerServer {
             cfg,
             machine: parts.machine,
@@ -181,7 +187,9 @@ impl WorkerServer {
             bus,
             checkpoint: None,
             crash_pending,
-            pd_pools,
+            pd_pool,
+            pressure: MemoryPressure::Normal,
+            peak_resident: 0,
         })
     }
 
@@ -384,6 +392,9 @@ impl WorkerServer {
     /// Finalizes a drained run: drains PD pools, checks the conservation
     /// invariants, and assembles the measurement report.
     pub fn seal(&mut self) -> RunReport {
+        // Snapshot the byte-side ledger before the final pool drain: the
+        // report records what the run held; the drain just hands it back.
+        let memory = self.memory_ledger();
         // Return pooled sanitized PDs before the leak accounting below.
         self.drain_pd_pools();
         debug_assert!(self.slab.is_empty(), "all invocations must complete");
@@ -397,7 +408,54 @@ impl WorkerServer {
             finished_at,
             shootdown_ns,
             self.orchs.iter().map(|o| &o.dispatch_ns),
+            memory,
         )
+    }
+
+    /// The byte-side memory ledger as of now: PrivLib's mmap/munmap
+    /// chokepoint counters plus pool and watermark state. The
+    /// event-derived activity counts (evictions, compactions, pressure
+    /// transitions) and journal/checkpoint bytes are folded in by the bus
+    /// at seal.
+    pub fn memory_ledger(&self) -> MemoryLedger {
+        let mc = self.privlib.memory();
+        let resident = mc.resident_bytes();
+        MemoryLedger {
+            mapped_bytes: mc.mapped_bytes,
+            resident_bytes: resident,
+            reclaimed_bytes: mc.reclaimed_bytes,
+            peak_resident_bytes: self.peak_resident.max(resident),
+            pooled_pds: self.pd_pool.pooled() as u64,
+            pooled_bytes: self.pd_pool.pooled_bytes(),
+            ..MemoryLedger::default()
+        }
+    }
+
+    /// The memory-pressure level currently in force.
+    pub fn memory_pressure(&self) -> MemoryPressure {
+        self.pressure
+    }
+
+    /// Bytes currently resident in this worker's address space.
+    pub fn resident_bytes(&self) -> u64 {
+        self.privlib.memory().resident_bytes()
+    }
+
+    /// Releases every warm pooled PD and accounts the release on the
+    /// memory ledger via a `PoolEvicted` event — the hook the cluster
+    /// calls when it retires or drains this worker, so a retired slot's
+    /// warm pool never leaks. Claimed PDs stay with their in-flight
+    /// invocations (their own teardown settles them). Returns
+    /// `(pds, bytes)` released.
+    pub fn release_warm_pool(&mut self) -> (u64, u64) {
+        let drained = self.pd_pool.drain();
+        if drained.is_empty() {
+            return (0, 0);
+        }
+        let pds = drained.len() as u64;
+        let bytes = self.release_pooled(CoreId(0), drained);
+        self.emit(LifecycleEvent::PoolEvicted { pds, bytes });
+        (pds, bytes)
     }
 
     /// Drains the terminal notices accumulated for cluster-tagged
@@ -485,11 +543,12 @@ impl WorkerServer {
             return;
         }
         let core = CoreId(0);
-        'fill: for fi in 0..self.pd_pools.len() {
+        let now = self.queue.now();
+        'fill: for fi in 0..self.registry.len() {
             let func = FunctionId(fi as u32);
             let spec_stack = self.registry.spec(func).stack() + self.registry.spec(func).heap();
             let code_va = self.code_vmas[fi];
-            while self.pd_pools[fi].len() < per_function {
+            while self.pd_pool.pooled_for(func) < per_function {
                 let Ok((pd, _)) = self.privlib.cget(&mut self.machine, core) else {
                     break 'fill;
                 };
@@ -508,9 +567,28 @@ impl WorkerServer {
                     )
                     .expect("prefill code grant");
                 let snapshot = self.privlib.snapshot_pd(pd);
-                self.pd_pools[fi].push((pd, stackheap, snapshot));
+                self.pd_pool.admit(
+                    func,
+                    PooledPd {
+                        pd,
+                        stackheap,
+                        snapshot,
+                        bytes: Self::chunk_bytes(spec_stack),
+                        warmed_at: now,
+                        last_used: now,
+                        uses: 0,
+                    },
+                );
             }
         }
+    }
+
+    /// Size-class chunk bytes a `len`-byte allocation actually occupies
+    /// (what the ledger and pool account in).
+    fn chunk_bytes(len: u64) -> u64 {
+        SizeClass::for_len(len)
+            .expect("spec stack/heap fits a size class")
+            .bytes()
     }
 
     // ------------------------------------------------------------------
@@ -780,7 +858,7 @@ impl WorkerServer {
         // (code grant + stack/heap) survived the previous invocation; a
         // pooled PD skips cget, the stack/heap mmap, and the code pcopy.
         let pooled = if self.cfg.sanitize {
-            self.pd_pools[func.0 as usize].pop()
+            self.pd_pool.claim(func, t)
         } else {
             None
         };
@@ -1226,7 +1304,27 @@ impl WorkerServer {
                 self.emit(LifecycleEvent::PdSanitized {
                     repairs: repairs as u64,
                 });
-                self.pd_pools[func.0 as usize].push((pd, stackheap, snapshot));
+                // Back to the pool: a claimed PD returns warm (its
+                // working-set record was parked in the claim registry); a
+                // freshly built one is admitted with a new record.
+                if self.pd_pool.claimed_entry(pd).is_some() {
+                    self.pd_pool.release(pd, t);
+                } else {
+                    let spec_stack =
+                        self.registry.spec(func).stack() + self.registry.spec(func).heap();
+                    self.pd_pool.admit(
+                        func,
+                        PooledPd {
+                            pd,
+                            stackheap,
+                            snapshot,
+                            bytes: Self::chunk_bytes(spec_stack),
+                            warmed_at: t,
+                            last_used: t,
+                            uses: 1,
+                        },
+                    );
+                }
             }
             None => {
                 // The teardown sequence (cexit, pmove, revoke, munmap,
@@ -1273,6 +1371,10 @@ impl WorkerServer {
                     .privlib
                     .cput(&mut self.machine, core, pd)
                     .expect("PD destroy");
+                // A prefilled pool can lend PDs even with sanitize off;
+                // this teardown destroyed the PD, so the claim record
+                // must not outlive it (no-op for freshly built PDs).
+                self.pd_pool.forget(pd);
             }
         }
         acc += iso + mem;
@@ -1343,6 +1445,9 @@ impl WorkerServer {
         });
         self.slab.remove(id);
         self.execs[e].next_free = done;
+        // Teardown is when pool and table state change, so the governor
+        // runs its reclamation pass here.
+        self.govern(done, core);
     }
 
     /// Mean execution time of `func`'s whole invocation tree (the peer is
@@ -1520,6 +1625,9 @@ impl WorkerServer {
             .privlib
             .cput(&mut self.machine, core, pd)
             .expect("PD destroy on abort");
+        // A pool-claimed PD died with the invocation: drop its claim (a
+        // no-op for freshly built PDs).
+        self.pd_pool.forget(pd);
         // External request buffers are owned by this worker; internal ones
         // travel back to the parent (freed there, or below if it is gone).
         if matches!(origin, Origin::External { .. }) {
@@ -1680,20 +1788,82 @@ impl WorkerServer {
     /// grant, free the retained stack/heap, drop the PD. Costs fall
     /// outside the measurement window.
     fn drain_pd_pools(&mut self) {
-        let core = CoreId(0);
-        for fi in 0..self.pd_pools.len() {
-            while let Some((pd, stackheap, _)) = self.pd_pools[fi].pop() {
-                let code_va = self.code_vmas[fi];
-                self.privlib
-                    .mprotect(&mut self.machine, core, code_va, Perm::NONE, pd)
-                    .expect("pool code revoke");
-                self.privlib
-                    .munmap(&mut self.machine, core, stackheap, PdId::RUNTIME)
-                    .expect("pool stack/heap free");
-                self.privlib
-                    .cput(&mut self.machine, core, pd)
-                    .expect("pool PD destroy");
-            }
+        debug_assert_eq!(
+            self.pd_pool.claimed_len(),
+            0,
+            "no PD claim may outlive its invocation"
+        );
+        let drained = self.pd_pool.drain();
+        self.release_pooled(CoreId(0), drained);
+    }
+
+    /// Frees the resources behind evicted/drained pool entries: revoke
+    /// the code grant, unmap the retained stack/heap, destroy the PD.
+    /// Returns the stack/heap bytes handed back.
+    fn release_pooled(&mut self, core: CoreId, entries: Vec<(FunctionId, PooledPd)>) -> u64 {
+        let mut bytes = 0;
+        for (func, entry) in entries {
+            bytes += entry.bytes;
+            let code_va = self.code_vmas[func.0 as usize];
+            self.privlib
+                .mprotect(&mut self.machine, core, code_va, Perm::NONE, entry.pd)
+                .expect("pool code revoke");
+            self.privlib
+                .munmap(&mut self.machine, core, entry.stackheap, PdId::RUNTIME)
+                .expect("pool stack/heap free");
+            self.privlib
+                .cput(&mut self.machine, core, entry.pd)
+                .expect("pool PD destroy");
+        }
+        bytes
+    }
+
+    /// One governor pass at a deterministic point (invocation teardown):
+    /// age/size warm-pool eviction, pressure-driven eviction of the
+    /// globally coldest entries *before* the admission policy sheds a
+    /// single request, VMA-table compaction once tombstones pile past the
+    /// threshold, and a typed pressure-transition event whenever the
+    /// ladder level changes. Reclamation work is charged to the machine
+    /// off the request critical path (a background daemon in a real
+    /// worker), so replay from the same state re-derives the same
+    /// decisions.
+    fn govern(&mut self, t: SimTime, core: CoreId) {
+        let idle = self.pd_pool.evict_idle(t, &self.cfg.memory);
+        let mut evicted_pds = idle.len() as u64;
+        let mut evicted_bytes = self.release_pooled(core, idle);
+
+        let mut resident = self.privlib.memory().resident_bytes();
+        let mut level = self.cfg.memory.pressure(resident);
+        if level >= MemoryPressure::Elevated {
+            let n = if level == MemoryPressure::Critical {
+                self.pd_pool.pooled() // give back the whole warm pool
+            } else {
+                2
+            };
+            let cold = self.pd_pool.evict_coldest(n);
+            evicted_pds += cold.len() as u64;
+            evicted_bytes += self.release_pooled(core, cold);
+            resident = self.privlib.memory().resident_bytes();
+            level = self.cfg.memory.pressure(resident);
+        }
+        if evicted_pds > 0 {
+            self.emit(LifecycleEvent::PoolEvicted {
+                pds: evicted_pds,
+                bytes: evicted_bytes,
+            });
+        }
+
+        if self.privlib.dead_slots() > self.cfg.memory.compact_dead_slots {
+            let (_, released) = self.privlib.compact_tables(&mut self.machine, core);
+            self.emit(LifecycleEvent::TableCompacted {
+                released: released as u64,
+            });
+        }
+
+        self.peak_resident = self.peak_resident.max(resident);
+        if level != self.pressure {
+            self.pressure = level;
+            self.emit(LifecycleEvent::MemoryPressureChanged { level, resident });
         }
     }
 

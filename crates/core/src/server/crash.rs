@@ -341,12 +341,11 @@ impl WorkerServer {
         let recovered = self.replay_and_prove(&checkpoint);
 
         // The process dies: every continuation, queue entry, and pooled PD
-        // evaporates. Undelivered network arrivals are the only survivors —
-        // they exist outside the crashed process.
+        // evaporates — claims included, since the claimants died too.
+        // Undelivered network arrivals are the only survivors — they
+        // exist outside the crashed process.
         self.slab.clear();
-        for pool in &mut self.pd_pools {
-            pool.clear();
-        }
+        self.pd_pool = crate::memory::PdPool::new(self.registry.len());
         let survivors: Vec<(SimTime, Event)> = self
             .queue
             .drain()
@@ -591,9 +590,7 @@ impl WorkerServer {
         // undelivered arrivals do not survive in place: the outside
         // world is the dispatcher, which re-routes them.
         self.slab.clear();
-        for pool in &mut self.pd_pools {
-            pool.clear();
-        }
+        self.pd_pool = crate::memory::PdPool::new(self.registry.len());
         let _ = self.queue.drain();
 
         // Every unfinished request — undelivered arrival (`Offered`),

@@ -8,6 +8,7 @@ use jord_sim::{LatencyHistogram, OnlineStats, SimDuration, SimTime};
 
 use crate::function::FunctionId;
 use crate::invocation::Breakdown;
+use crate::memory::MemoryLedger;
 
 /// Fault-handling counters: what went wrong and what the runtime did about
 /// it. `PartialEq` so determinism tests can compare whole schedules.
@@ -332,6 +333,10 @@ pub struct RunReport {
     /// brownout-residency fields; the cluster report adds scale events
     /// and worker-seconds.
     pub autoscale: AutoscaleStats,
+    /// The memory ledger, conserved as
+    /// `mapped == resident + reclaimed` — the byte-side twin of the
+    /// request ledger above.
+    pub memory: MemoryLedger,
 }
 
 impl RunReport {
@@ -353,6 +358,7 @@ impl RunReport {
             sanitize: SanitizeStats::default(),
             failover: FailoverStats::default(),
             autoscale: AutoscaleStats::default(),
+            memory: MemoryLedger::default(),
         }
     }
 

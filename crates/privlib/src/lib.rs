@@ -56,4 +56,4 @@ pub mod stats;
 pub use cost::CostModel;
 pub use error::PrivError;
 pub use privlib::{Gate, IsolationMode, PrivLib, TableChoice};
-pub use stats::{OpKind, PrivLibStats};
+pub use stats::{MemoryCounters, OpKind, PrivLibStats};

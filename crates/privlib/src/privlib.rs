@@ -10,7 +10,7 @@ use jord_vma::{
 
 use crate::cost::CostModel;
 use crate::error::PrivError;
-use crate::stats::{OpKind, PrivLibStats};
+use crate::stats::{MemoryCounters, OpKind, PrivLibStats};
 
 /// Which VMA table data structure backs PrivLib (§5's Jord vs Jord_BT).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +100,7 @@ pub struct PrivLib {
     pd_live: Vec<bool>,
     costs: CostModel,
     stats: PrivLibStats,
+    mem: MemoryCounters,
     layout: Layout,
     acc: Vec<TableAccess>,
 }
@@ -133,6 +134,7 @@ impl PrivLib {
             pd_live: vec![false; MAX_PDS as usize + 1],
             costs,
             stats: PrivLibStats::new(),
+            mem: MemoryCounters::default(),
             layout,
             acc: Vec::with_capacity(16),
         }
@@ -156,6 +158,18 @@ impl PrivLib {
     /// Operation accounting (Figure 11/13 inputs).
     pub fn stats(&self) -> &PrivLibStats {
         &self.stats
+    }
+
+    /// Byte accounting at the mmap/munmap chokepoint — the raw inputs of
+    /// the worker's `MemoryLedger` conservation invariant.
+    pub fn memory(&self) -> &MemoryCounters {
+        &self.mem
+    }
+
+    /// Dead bookkeeping entries in the VMA table a compaction sweep would
+    /// reclaim (plain-list tombstones, B-tree trailing free slots).
+    pub fn dead_slots(&self) -> usize {
+        self.table.dead_slots()
     }
 
     /// The memory layout in effect.
@@ -279,6 +293,7 @@ impl PrivLib {
         cost += Self::charge(machine, core, &acc);
         self.acc = acc;
         let va = self.codec.base_of(sc, index).expect("freelist index valid");
+        self.mem.mapped_bytes += sc.bytes();
         self.stats.record(OpKind::Mmap, cost);
         Ok((va, cost))
     }
@@ -315,8 +330,27 @@ impl PrivLib {
         self.acc = acc;
         cost += machine.atomic_rmw(core, self.free.head_addr(sc));
         self.free.push(sc, index);
+        self.mem.reclaimed_bytes += sc.bytes();
         self.stats.record(OpKind::Munmap, cost);
         Ok(cost)
+    }
+
+    /// Sweeps dead bookkeeping out of the VMA table (plain-list tombstones
+    /// left by `munmap`, trailing freed B-tree nodes/arena slots). Every
+    /// released entry is a charged table write, so compaction shows up in
+    /// the Figure-13 VMA-management accounting like any other op. Returns
+    /// the charged duration and the number of entries released.
+    pub fn compact_tables(&mut self, machine: &mut Machine, core: CoreId) -> (SimDuration, usize) {
+        let mut cost = machine.work(self.costs.policy_check_ns);
+        self.acc.clear();
+        let mut acc = std::mem::take(&mut self.acc);
+        let released = self.table.compact(&mut acc);
+        cost += Self::charge(machine, core, &acc);
+        self.acc = acc;
+        self.mem.compactions += 1;
+        self.mem.compacted_slots += released as u64;
+        self.stats.record(OpKind::Compact, cost);
+        (cost, released)
     }
 
     /// `mprotect(addr, len, prot)`: changes `pd`'s permission on the VMA at

@@ -26,11 +26,13 @@ pub enum OpKind {
     Cswitch,
     /// VTW walks triggered by VLB misses.
     Walk,
+    /// Table compaction sweeps (the memory governor's churn defense).
+    Compact,
 }
 
 impl OpKind {
     /// All op kinds, for iteration in reports.
-    pub const ALL: [OpKind; 8] = [
+    pub const ALL: [OpKind; 9] = [
         OpKind::Mmap,
         OpKind::Munmap,
         OpKind::Mprotect,
@@ -39,13 +41,19 @@ impl OpKind {
         OpKind::Cput,
         OpKind::Cswitch,
         OpKind::Walk,
+        OpKind::Compact,
     ];
 
     /// True for the VMA-management family (the Figure 13 "+167 %" metric).
     pub const fn is_vma_management(self) -> bool {
         matches!(
             self,
-            OpKind::Mmap | OpKind::Munmap | OpKind::Mprotect | OpKind::Ptransfer | OpKind::Walk
+            OpKind::Mmap
+                | OpKind::Munmap
+                | OpKind::Mprotect
+                | OpKind::Ptransfer
+                | OpKind::Walk
+                | OpKind::Compact
         )
     }
 
@@ -59,6 +67,7 @@ impl OpKind {
             OpKind::Cput => 5,
             OpKind::Cswitch => 6,
             OpKind::Walk => 7,
+            OpKind::Compact => 8,
         }
     }
 }
@@ -66,8 +75,8 @@ impl OpKind {
 /// Per-kind counts and accumulated simulated time.
 #[derive(Debug, Clone, Default)]
 pub struct PrivLibStats {
-    counts: [u64; 8],
-    time: [SimDuration; 8],
+    counts: [u64; 9],
+    time: [SimDuration; 9],
 }
 
 impl PrivLibStats {
@@ -114,10 +123,46 @@ impl PrivLibStats {
 
     /// Merges another stats record into this one.
     pub fn merge(&mut self, other: &PrivLibStats) {
-        for i in 0..8 {
+        for i in 0..OpKind::ALL.len() {
             self.counts[i] += other.counts[i];
             self.time[i] += other.time[i];
         }
+    }
+}
+
+/// Raw byte accounting at the mmap/munmap chokepoint. Every VMA that
+/// enters or leaves the table passes through PrivLib, so these three
+/// counters are the ground truth behind the worker-level `MemoryLedger`
+/// and its `mapped == resident + reclaimed` conservation invariant:
+/// `mapped_bytes` and `reclaimed_bytes` are cumulative, and the bytes
+/// currently resident are exactly their difference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryCounters {
+    /// Cumulative bytes ever mapped (size-class chunk granularity — the
+    /// reservation is what occupies the address space, not the request).
+    pub mapped_bytes: u64,
+    /// Cumulative bytes returned by `munmap` (same granularity).
+    pub reclaimed_bytes: u64,
+    /// Compaction sweeps run.
+    pub compactions: u64,
+    /// Dead table entries released across all sweeps.
+    pub compacted_slots: u64,
+}
+
+impl MemoryCounters {
+    /// Bytes currently resident: the conservation identity solved for the
+    /// unknown (`resident = mapped - reclaimed`).
+    pub fn resident_bytes(&self) -> u64 {
+        debug_assert!(self.mapped_bytes >= self.reclaimed_bytes);
+        self.mapped_bytes - self.reclaimed_bytes
+    }
+
+    /// Merges another counter set into this one (cluster roll-ups).
+    pub fn merge(&mut self, other: &MemoryCounters) {
+        self.mapped_bytes += other.mapped_bytes;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+        self.compactions += other.compactions;
+        self.compacted_slots += other.compacted_slots;
     }
 }
 

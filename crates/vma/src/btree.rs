@@ -600,6 +600,41 @@ impl VmaTable for BTreeTable {
         out.sort_by_key(|&(sc, index)| (sc.index(), index));
         out
     }
+
+    fn dead_slots(&self) -> usize {
+        self.free_nodes.len() + self.free_arena.len()
+    }
+
+    fn compact(&mut self, acc: &mut Vec<TableAccess>) -> usize {
+        let mut reclaimed = 0;
+        // Only trailing freed entries can be released: interior node ids
+        // are referenced by parents and interior arena slots must keep
+        // their addresses (VLB/VTD tags survive rebalancing). Interior
+        // holes stay on the free lists for reuse by the next insert.
+        self.free_nodes.sort_unstable();
+        while self
+            .free_nodes
+            .last()
+            .is_some_and(|&id| id as usize == self.nodes.len() - 1)
+        {
+            let id = self.free_nodes.pop().expect("checked non-empty");
+            acc.push(TableAccess::NodeWrite(self.node_addr(id)));
+            self.nodes.pop();
+            reclaimed += 1;
+        }
+        self.free_arena.sort_unstable();
+        while self
+            .free_arena
+            .last()
+            .is_some_and(|&slot| slot as usize == self.arena.len() - 1)
+        {
+            let slot = self.free_arena.pop().expect("checked non-empty");
+            acc.push(TableAccess::VteWrite(self.arena_addr(slot)));
+            self.arena.pop();
+            reclaimed += 1;
+        }
+        reclaimed
+    }
 }
 
 #[cfg(test)]

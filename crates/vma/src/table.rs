@@ -133,6 +133,19 @@ pub trait VmaTable {
     /// sanitization use it to enumerate state, then charge the repairs
     /// they actually perform.
     fn live_slots(&self) -> Vec<(SizeClass, u32)>;
+
+    /// Dead bookkeeping entries a compaction pass would reclaim —
+    /// tombstoned VTEs in the plain list, freed index nodes and arena
+    /// slots in the B-tree. Introspection only, no charged accesses.
+    fn dead_slots(&self) -> usize;
+
+    /// Sweeps dead bookkeeping out of the table — clearing tombstoned
+    /// VTEs (plain list) or releasing freed index nodes and arena slots
+    /// (B-tree) — and returns the number of entries reclaimed. Each
+    /// reclaimed entry is one charged write: the sweep rewrites the slot
+    /// it scrubs. Live mappings and their VTE addresses are untouched,
+    /// so compaction is always safe under concurrent VLB caching.
+    fn compact(&mut self, acc: &mut Vec<TableAccess>) -> usize;
 }
 
 /// The plain-list VMA table: a flat, preallocated, overprovisioned array of
@@ -351,6 +364,28 @@ impl VmaTable for PlainListTable {
             .collect();
         out.sort_by_key(|&(sc, index)| (sc.index(), index));
         out
+    }
+
+    fn dead_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|v| v.as_ref().is_some_and(|v| !v.attr.valid))
+            .count()
+    }
+
+    fn compact(&mut self, acc: &mut Vec<TableAccess>) -> usize {
+        let mut reclaimed = 0;
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].as_ref().is_some_and(|v| !v.attr.valid) {
+                let (sc, index) = self.codec.slot_to_vma(slot);
+                self.slots[slot] = None;
+                acc.push(TableAccess::VteWrite(
+                    self.codec.vte_addr(self.base, sc, index),
+                ));
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 }
 

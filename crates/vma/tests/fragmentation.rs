@@ -1,0 +1,148 @@
+//! Fragmentation regression: a churn loop of map/unmap over mixed size
+//! classes must keep the free lists conserved (no leaked indices), the
+//! table occupancy equal to the live set, and the dead bookkeeping
+//! bounded — for both the plain-list and B-tree backends. This is the
+//! memory-governor's substrate invariant: without it, VMA-table
+//! compaction could not promise bounded resident metadata under a week
+//! of traffic.
+
+use jord_hw::types::PdId;
+use jord_vma::{BTreeTable, FreeLists, PlainListTable, SizeClass, TableAccess, VaCodec, VmaTable};
+
+/// Deterministic splitmix-style generator: the test needs reproducible
+/// churn, not statistical quality.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+const STEPS: usize = 4_000;
+const COMPACT_EVERY: usize = 512;
+
+fn churn(table: &mut dyn VmaTable, codec: &VaCodec, label: &str) {
+    let mut free = FreeLists::new(codec, 0x7000_0000);
+    let mut acc: Vec<TableAccess> = Vec::new();
+    let classes: Vec<SizeClass> = (0..6u8)
+        .map(|k| SizeClass::from_index(k).expect("class in range"))
+        .collect();
+    let caps: Vec<usize> = classes
+        .iter()
+        .map(|&sc| codec.capacity(sc) as usize)
+        .collect();
+    let mut live: Vec<(SizeClass, u32)> = Vec::new();
+    let mut rng = Lcg(0x5eed_f00d ^ label.len() as u64);
+    let mut peak_live = 0usize;
+
+    for step in 1..=STEPS {
+        // Map-biased churn so the live set grows, shrinks, and regrows.
+        let map = live.is_empty() || rng.next() % 100 < 55;
+        if map {
+            let sc = classes[(rng.next() % classes.len() as u64) as usize];
+            if let Some(index) = free.pop(sc) {
+                let len = 1 + rng.next() % sc.bytes();
+                table.insert(sc, index, len, 0, &mut acc);
+                live.push((sc, index));
+            }
+        } else {
+            let pos = (rng.next() % live.len() as u64) as usize;
+            let (sc, index) = live.swap_remove(pos);
+            assert!(
+                table.remove(sc, index, &mut acc),
+                "{label}: a live mapping must be removable"
+            );
+            free.push(sc, index);
+        }
+        peak_live = peak_live.max(live.len());
+
+        // Occupancy: the table agrees with the oracle exactly.
+        assert_eq!(
+            table.live_mappings(),
+            live.len(),
+            "{label}: occupancy must track the live set at step {step}"
+        );
+        // Free-list conservation per class: an index is in the table or
+        // on the free list, never both, never neither.
+        for (ci, &sc) in classes.iter().enumerate() {
+            let in_table = live.iter().filter(|&&(s, _)| s == sc).count();
+            assert_eq!(
+                free.available(sc) + in_table,
+                caps[ci],
+                "{label}: class {sc} leaked an index at step {step}"
+            );
+        }
+
+        if step % COMPACT_EVERY == 0 {
+            table.compact(&mut acc);
+            // Dead bookkeeping stays bounded by the churn scale: the
+            // plain list compacts to zero tombstones; the B-tree keeps
+            // only interior holes, which recycling bounds by the peak
+            // footprint.
+            assert!(
+                table.dead_slots() <= 3 * peak_live + 16,
+                "{label}: dead bookkeeping ({}) must stay bounded at step {step} (peak live {peak_live})",
+                table.dead_slots()
+            );
+        }
+    }
+
+    // Drain everything and compact: occupancy returns to zero, the free
+    // lists return to full capacity, and the dead bookkeeping collapses.
+    while let Some((sc, index)) = live.pop() {
+        assert!(table.remove(sc, index, &mut acc));
+        free.push(sc, index);
+    }
+    let reclaimed = table.compact(&mut acc);
+    assert_eq!(table.live_mappings(), 0, "{label}: drained table is empty");
+    for (ci, &sc) in classes.iter().enumerate() {
+        assert_eq!(
+            free.available(sc),
+            caps[ci],
+            "{label}: class {sc} must be whole again after the drain"
+        );
+    }
+    assert!(
+        reclaimed > 0,
+        "{label}: a drained table must have something to compact"
+    );
+    assert!(
+        table.dead_slots() <= peak_live,
+        "{label}: post-drain dead bookkeeping ({}) must be under the peak live set ({peak_live})",
+        table.dead_slots()
+    );
+
+    // Compaction must not disturb correctness: a fresh mapping still
+    // resolves.
+    let sc = classes[0];
+    let index = free.pop(sc).expect("capacity restored");
+    table.insert(sc, index, 128, 0, &mut acc);
+    let base = codec.base_of(sc, index).expect("index valid");
+    assert!(
+        table.lookup(base, PdId(0), &mut acc).is_some(),
+        "{label}: lookups must survive compaction"
+    );
+}
+
+#[test]
+fn plain_list_survives_mixed_class_churn() {
+    let codec = VaCodec::isca25();
+    let mut table = PlainListTable::new(codec, 0x4000_0000);
+    churn(&mut table, &codec, "plain-list");
+    // The plain list's compaction is total: no tombstone survives it,
+    // and the churn's final probe mapping is live, not dead.
+    assert_eq!(table.dead_slots(), 0, "compaction clears every tombstone");
+}
+
+#[test]
+fn btree_survives_mixed_class_churn() {
+    let codec = VaCodec::isca25();
+    let mut table = BTreeTable::new(codec, 0x8000_0000, 0x9000_0000);
+    churn(&mut table, &codec, "b-tree");
+    table.check_invariants();
+}

@@ -39,7 +39,12 @@
 //!   and bursty traffic against the SLO-driven
 //!   [`jord_core::ClusterAutoscaler`] and its brownout ladder, reporting
 //!   cost-vs-SLO (worker-seconds bought vs load shed) and asserting zero
-//!   lost requests even when a crash races a scale-down drain.
+//!   lost requests even when a crash races a scale-down drain,
+//! * [`soak`] — week-of-traffic soak campaigns against the memory
+//!   governor: seven diurnal periods with warm-pool eviction, pressure
+//!   ladders, and table compaction engaged, asserting bounded residency,
+//!   no day-over-day growth, stable tails, balanced memory ledgers, and
+//!   bit-identical seeded replay (including a crash landing mid-reclaim).
 //!
 //! # Example
 //!
@@ -66,6 +71,7 @@ pub mod failover;
 pub mod loadgen;
 pub mod runner;
 pub mod slo;
+pub mod soak;
 
 pub use apps::{EntryPoint, Workload, WorkloadKind};
 pub use autoscale::{AutoscaleCampaign, AutoscalePoint, AutoscaleReport};
@@ -75,3 +81,4 @@ pub use failover::{FailoverCampaign, FailoverPoint, FailoverReport};
 pub use loadgen::{ArrivalProcess, LoadGen};
 pub use runner::{run_system, SweepPoint, System};
 pub use slo::{measure_slo, throughput_under_slo, SloError};
+pub use soak::{SoakCampaign, SoakDay, SoakReport};
