@@ -37,7 +37,7 @@
 //!   fleet hash — identical seeds reproduce identical decisions and
 //!   traces.
 
-use jord_hw::{FaultInjector, InjectConfig, PartitionWindow};
+use jord_hw::{FaultInjector, InjectConfig, PartitionWindow, StorageFaultPlan};
 use jord_sim::{EventQueue, LatencyHistogram, Rng, SimDuration, SimTime};
 
 use crate::admission::BrownoutLevel;
@@ -51,7 +51,7 @@ use crate::health::{DetectorConfig, PhiAccrual, WorkerHealth};
 use crate::memory::{MemoryLedger, MemoryPressure};
 use crate::recovery::{CrashConfig, CrashSemantics};
 use crate::server::WorkerServer;
-use crate::stats::{AutoscaleStats, FailoverStats, RunReport};
+use crate::stats::{AutoscaleStats, DurabilityStats, FailoverStats, RunReport};
 
 /// Hedged-dispatch tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +120,9 @@ pub struct ClusterConfig {
     pub hedge: Option<HedgeConfig>,
     /// A scripted worker kill, if any.
     pub kill: Option<WorkerKill>,
+    /// Storage misbehavior applied to a killed worker's durable journal
+    /// between death and recovery (`None` = storage is byte-perfect).
+    pub storage: Option<StorageFaultPlan>,
     /// Scripted graceful drains (any number of workers, any schedule).
     pub drains: Vec<DrainPlan>,
     /// Probability an individual heartbeat is lost in the network.
@@ -145,6 +148,7 @@ impl ClusterConfig {
             restart_penalty_us: 50.0,
             hedge: None,
             kill: None,
+            storage: None,
             drains: Vec::new(),
             heartbeat_loss_rate: 0.0,
             partition: None,
@@ -396,6 +400,9 @@ pub struct ClusterReport {
     /// merged. Each summand satisfied `mapped == resident + reclaimed`
     /// at its own seal, so the merge does too.
     pub memory: MemoryLedger,
+    /// Fleet durability counters: every worker's storage-integrity and
+    /// recovery-ladder stats merged.
+    pub durability: DurabilityStats,
 }
 
 impl ClusterReport {
@@ -532,6 +539,7 @@ impl ClusterDispatcher {
             plan: None,
             semantics: cfg.semantics,
             restart_penalty_us: cfg.restart_penalty_us,
+            storage: cfg.storage,
             ..CrashConfig::journal_only()
         });
         WorkerServer::new(rt, registry.clone())
@@ -1308,6 +1316,7 @@ impl ClusterDispatcher {
             windows: self.windows.clone(),
             trace_hash,
             memory: MemoryLedger::default(),
+            durability: DurabilityStats::default(),
         };
         for req in &self.requests {
             match req.outcome {
@@ -1322,6 +1331,7 @@ impl ClusterDispatcher {
             rep.failover = slot.stats;
             report.failover.merge(&slot.stats);
             report.memory.merge(&rep.memory);
+            report.durability.merge(&rep.durability);
             report.workers.push(rep);
         }
         debug_assert_eq!(

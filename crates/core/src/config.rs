@@ -430,9 +430,7 @@ impl RuntimeConfig {
             .validate()
             .map_err(|reason| ConfigError::Recovery { reason })?;
         if let Some(crash) = &self.crash {
-            crash
-                .validate(self.orchestrators, self.executors())
-                .map_err(|reason| ConfigError::Crash { reason })?;
+            crash.validate(self.orchestrators, self.executors())?;
         }
         self.memory
             .validate()

@@ -25,12 +25,14 @@ use jord_hw::FaultKind;
 use jord_sim::{OnlineStats, SimDuration, SimTime};
 
 use crate::admission::BrownoutLevel;
+use crate::durability::CheckpointSeal;
 use crate::function::FunctionId;
 use crate::invocation::{Breakdown, InvocationId};
 use crate::journal::{InvocationJournal, PendingInvocation, PendingRetry};
 use crate::lifecycle::Effect;
 use crate::memory::{MemoryLedger, MemoryPressure};
-use crate::stats::{AutoscaleStats, CrashStats, RunReport, SanitizeStats};
+use crate::recovery::RecoveryRung;
+use crate::stats::{AutoscaleStats, CrashStats, DurabilityStats, RunReport, SanitizeStats};
 
 /// Capacity of the trace-sink ring buffer: enough to hold the tail of a
 /// campaign for post-mortem assertions without growing with run length.
@@ -334,6 +336,39 @@ pub enum LifecycleEvent {
         /// Resident bytes that triggered the change.
         resident: u64,
     },
+    /// Recovery scanned the durable journal image frame by frame,
+    /// verifying checksums and sequence numbers.
+    JournalScanned {
+        /// Frames whose checksum and sequence verified.
+        frames_verified: u64,
+        /// Frames rejected as corrupt (checksum/decode failure or gap).
+        frames_quarantined: u64,
+        /// Bytes discarded off the end as a torn tail.
+        truncated_bytes: u64,
+        /// Duplicate frames (sequence regressions) dropped.
+        duplicates_dropped: u64,
+    },
+    /// Recovery checked a checkpoint's integrity seal against the
+    /// scanned log image.
+    CheckpointSealChecked {
+        /// Did the seal verify (self-consistent and prefix hash match)?
+        ok: bool,
+    },
+    /// Recovery committed to a rung of the ladder.
+    RecoveryRungTaken {
+        /// The rung.
+        rung: RecoveryRung,
+    },
+    /// A lossy recovery rung demoted an in-flight request whose journal
+    /// suffix was lost: re-admitted (at-least-once) or terminally failed
+    /// (at-most-once). Stat-only — the actual re-admission or failure is
+    /// published as its own request-carrying event.
+    WorkDemoted {
+        /// The demoted request.
+        req: u64,
+        /// Re-admitted (`true`) or terminally failed (`false`).
+        readmit: bool,
+    },
 }
 
 impl LifecycleEvent {
@@ -365,7 +400,11 @@ impl LifecycleEvent {
             | BrownoutChanged { .. }
             | PoolEvicted { .. }
             | TableCompacted { .. }
-            | MemoryPressureChanged { .. } => None,
+            | MemoryPressureChanged { .. }
+            | JournalScanned { .. }
+            | CheckpointSealChecked { .. }
+            | RecoveryRungTaken { .. }
+            | WorkDemoted { .. } => None,
         }
     }
 
@@ -398,6 +437,10 @@ impl LifecycleEvent {
             PoolEvicted { .. } => "PoolEvicted",
             TableCompacted { .. } => "TableCompacted",
             MemoryPressureChanged { .. } => "MemoryPressureChanged",
+            JournalScanned { .. } => "JournalScanned",
+            CheckpointSealChecked { .. } => "CheckpointSealChecked",
+            RecoveryRungTaken { .. } => "RecoveryRungTaken",
+            WorkDemoted { .. } => "WorkDemoted",
         }
     }
 }
@@ -476,6 +519,10 @@ struct StatsSink {
     /// seal; these counters come from the event stream — the two views
     /// are folded together there.
     memory: MemoryLedger,
+    /// Durable-storage integrity counters. Like `crash`, kept outside the
+    /// report so [`EventBus::restore`] (which replaces the report with a
+    /// replayed reconstruction) cannot erase them.
+    durability: DurabilityStats,
     /// Current brownout level and when it was entered, for folding
     /// degraded-mode residency time into the report at seal.
     brownout: BrownoutLevel,
@@ -605,6 +652,36 @@ impl StatsSink {
             LifecycleEvent::MemoryPressureChanged { .. } => {
                 self.memory.pressure_transitions += 1;
             }
+            LifecycleEvent::JournalScanned {
+                frames_verified,
+                frames_quarantined,
+                truncated_bytes,
+                duplicates_dropped,
+            } => {
+                self.durability.frames_verified += frames_verified;
+                self.durability.frames_quarantined += frames_quarantined;
+                self.durability.truncated_bytes += truncated_bytes;
+                self.durability.duplicates_dropped += duplicates_dropped;
+            }
+            LifecycleEvent::CheckpointSealChecked { ok } => {
+                if !ok {
+                    self.durability.seal_failures += 1;
+                }
+            }
+            LifecycleEvent::RecoveryRungTaken { rung } => match rung {
+                RecoveryRung::ExactReplay => self.durability.exact_replays += 1,
+                RecoveryRung::TornTail => self.durability.torn_tails += 1,
+                RecoveryRung::Quarantine => self.durability.quarantines += 1,
+                RecoveryRung::CheckpointFallback => self.durability.checkpoint_fallbacks += 1,
+                RecoveryRung::PristineReboot => self.durability.pristine_reboots += 1,
+            },
+            LifecycleEvent::WorkDemoted { readmit, .. } => {
+                if readmit {
+                    self.durability.demoted_readmitted += 1;
+                } else {
+                    self.durability.demoted_failed += 1;
+                }
+            }
             LifecycleEvent::Admitted { .. }
             | LifecycleEvent::ArgBufGranted { .. }
             | LifecycleEvent::Dispatched { .. }
@@ -707,6 +784,9 @@ pub struct CheckpointImage {
     pub in_flight: Vec<PendingInvocation>,
     /// Scheduled-but-unfired retries, as `(token, retry)`.
     pub pending: Vec<(u64, PendingRetry)>,
+    /// Integrity seal over the durable log up to the checkpoint mark
+    /// (frame count, byte length, running hash).
+    pub seal: CheckpointSeal,
 }
 
 /// The ordered event stream's fan-out point. Owns the four sinks and all
@@ -796,12 +876,15 @@ impl EventBus {
     pub fn checkpoint_image(&mut self) -> Option<CheckpointImage> {
         let j = self.journal.journal.as_mut()?;
         let at_record = j.mark_checkpoint();
+        // Seal *after* the checkpoint mark so the Checkpoint frame itself
+        // is covered by the sealed prefix.
         Some(CheckpointImage {
             at_record,
             report: self.stats.report.clone(),
             warmed: self.stats.warmed,
             in_flight: j.in_flight().values().copied().collect(),
             pending: j.pending().iter().map(|(&t, &p)| (t, p)).collect(),
+            seal: j.durable_log().seal(),
         })
     }
 
@@ -899,6 +982,7 @@ impl EventBus {
         }
         report.shootdown_ns = shootdown_ns;
         report.crash = self.stats.crash;
+        report.durability = self.stats.durability;
         if let Some(j) = &self.journal.journal {
             report.crash.journal_records = j.len() as u64 + self.journal.retired_records;
             report.crash.checkpoints = j.checkpoints() + self.journal.retired_checkpoints;

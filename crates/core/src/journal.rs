@@ -28,6 +28,7 @@ use jord_sim::{Rng, SimTime};
 use jord_vma::TableSnapshot;
 
 use crate::admission::BrownoutLevel;
+use crate::durability::{CheckpointSeal, DurableLog};
 use crate::function::FunctionId;
 use crate::invocation::InvocationId;
 use crate::stats::RunReport;
@@ -230,6 +231,10 @@ pub struct WorkerCheckpoint {
     pub live_pds: Vec<u16>,
     /// Per-orchestrator (external, internal) queue depths at capture.
     pub queue_depths: Vec<(usize, usize)>,
+    /// Integrity seal over the durable log as of capture: recovery
+    /// verifies it before trusting this checkpoint's tables, and falls
+    /// down the recovery ladder when it does not hold.
+    pub seal: CheckpointSeal,
 }
 
 /// What replay reconstructs: the ledger-exact report plus the in-flight
@@ -255,6 +260,9 @@ pub struct RecoveredState {
 #[derive(Debug, Default)]
 pub struct InvocationJournal {
     records: Vec<JournalRecord>,
+    /// The framed, checksummed byte image of `records` — what actually
+    /// survives a crash. Record `i` is frame `i` (sequence number `i`).
+    log: DurableLog,
     in_flight: BTreeMap<usize, PendingInvocation>,
     pending: BTreeMap<u64, PendingRetry>,
     since_checkpoint: usize,
@@ -268,6 +276,7 @@ impl InvocationJournal {
     }
 
     fn push(&mut self, r: JournalRecord) {
+        self.log.append(&r);
         self.records.push(r);
         self.since_checkpoint += 1;
     }
@@ -290,6 +299,11 @@ impl InvocationJournal {
     /// The full record list.
     pub fn records(&self) -> &[JournalRecord] {
         &self.records
+    }
+
+    /// The framed durable byte image of the record list.
+    pub fn durable_log(&self) -> &DurableLog {
+        &self.log
     }
 
     /// Live in-flight table (externals only), keyed by slab index.
@@ -461,13 +475,25 @@ impl InvocationJournal {
     /// that, which is the machine-checked proof that checkpoint + suffix
     /// loses no request.
     pub fn replay(&self, checkpoint: &WorkerCheckpoint) -> RecoveredState {
+        Self::replay_records(&self.records, checkpoint)
+    }
+
+    /// [`replay`](Self::replay) over an explicit record image — the
+    /// scanned (possibly truncated) contents of a struck durable log
+    /// rather than the live in-memory list. A `records` shorter than
+    /// `checkpoint.at_record` replays nothing: the checkpoint already
+    /// covers more than the image can prove.
+    pub fn replay_records(
+        records: &[JournalRecord],
+        checkpoint: &WorkerCheckpoint,
+    ) -> RecoveredState {
         let mut report = checkpoint.report.clone();
         let mut warmed = checkpoint.warmed;
         let mut in_flight: BTreeMap<usize, PendingInvocation> =
             checkpoint.in_flight.iter().map(|p| (p.id.0, *p)).collect();
         let mut pending: BTreeMap<u64, PendingRetry> = checkpoint.pending.iter().copied().collect();
         let mut replayed = 0u64;
-        for r in &self.records[checkpoint.at_record..] {
+        for r in records.get(checkpoint.at_record..).unwrap_or(&[]) {
             replayed += 1;
             match *r {
                 JournalRecord::Admit {
@@ -605,6 +631,7 @@ mod tests {
             free_slots: Vec::new(),
             live_pds: Vec::new(),
             queue_depths: Vec::new(),
+            seal: journal.durable_log().seal(),
         }
     }
 

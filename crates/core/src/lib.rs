@@ -47,6 +47,7 @@ pub mod argbuf;
 pub mod autoscaler;
 pub mod cluster;
 pub mod config;
+pub mod durability;
 pub mod events;
 pub mod executor;
 pub mod function;
@@ -70,6 +71,7 @@ pub use cluster::{
     WindowRecord, WorkerKill,
 };
 pub use config::{ConfigError, RecoveryPolicy, RuntimeConfig, SpillConfig, SystemVariant};
+pub use durability::{CheckpointSeal, DurableLog, FrameAnomaly, ScanReport, FRAME_HEADER_BYTES};
 pub use events::{
     AbortCause, EventBus, LifecycleEvent, NoticeOutcome, RetryKind, TraceEntry, WorkerNotice,
     TRACE_CAPACITY,
@@ -90,9 +92,9 @@ pub use memory::{
     CHECKPOINT_IMAGE_BYTES, JOURNAL_RECORD_BYTES,
 };
 pub use orchestrator::Orchestrator;
-pub use recovery::{CrashConfig, CrashSemantics};
+pub use recovery::{CrashConfig, CrashSemantics, RecoveryRung};
 pub use server::{StrandedRequest, WorkerServer};
 pub use stats::{
-    AutoscaleStats, CrashStats, FailoverStats, FaultStats, FunctionBreakdown, RunReport,
-    SanitizeStats,
+    AutoscaleStats, CrashStats, DurabilityStats, FailoverStats, FaultStats, FunctionBreakdown,
+    RunReport, SanitizeStats,
 };

@@ -167,7 +167,11 @@ pub fn transition(
             | LifecycleEvent::Replayed { .. }
             | LifecycleEvent::PoolEvicted { .. }
             | LifecycleEvent::TableCompacted { .. }
-            | LifecycleEvent::MemoryPressureChanged { .. },
+            | LifecycleEvent::MemoryPressureChanged { .. }
+            | LifecycleEvent::JournalScanned { .. }
+            | LifecycleEvent::CheckpointSealChecked { .. }
+            | LifecycleEvent::RecoveryRungTaken { .. }
+            | LifecycleEvent::WorkDemoted { .. },
             None,
         ) => Ok((None, vec![Stats, Trace])),
         _ => illegal,

@@ -13,7 +13,9 @@
 //! chosen [`CrashSemantics`] decides whether each interrupted request is
 //! re-admitted (a `RetryScheduled` event) or terminally failed.
 
-use jord_hw::{CrashPlan, CrashScope};
+use jord_hw::{CrashPlan, CrashScope, StorageFaultPlan};
+
+use crate::config::ConfigError;
 
 /// What the recovery path promises about requests in flight at the crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +39,84 @@ impl CrashSemantics {
     }
 }
 
+/// Which rung of the recovery ladder a restart landed on. Recovery always
+/// starts at the top (trust everything) and climbs down only as far as
+/// the storage integrity checks force it:
+///
+/// 1. [`ExactReplay`](Self::ExactReplay) — every frame verifies; replay is
+///    bit-identical to the in-memory journal.
+/// 2. [`TornTail`](Self::TornTail) — the final frame is cut mid-bytes;
+///    truncate at the last valid frame and replay the shorter suffix,
+///    demoting in-flight work the lost records covered.
+/// 3. [`Quarantine`](Self::Quarantine) — an interior frame fails its
+///    checksum (or leaves a sequence gap); everything from the first bad
+///    frame on is quarantined and the verified prefix replays.
+/// 4. [`CheckpointFallback`](Self::CheckpointFallback) — the newest
+///    checkpoint's seal no longer verifies against the log; recovery
+///    falls back to the previous sealed checkpoint.
+/// 5. [`PristineReboot`](Self::PristineReboot) — no checkpoint verifies
+///    at all; the worker reboots empty and (in a cluster) is treated like
+///    a phi-evicted worker so its stranded work re-derives upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryRung {
+    /// Clean log: exact, bit-identical replay.
+    ExactReplay,
+    /// Partial final frame truncated; verified prefix replayed.
+    TornTail,
+    /// Corrupt interior frame quarantined; verified prefix replayed.
+    Quarantine,
+    /// Newest checkpoint seal failed; previous checkpoint restored.
+    CheckpointFallback,
+    /// No verifiable checkpoint; empty reboot.
+    PristineReboot,
+}
+
+impl RecoveryRung {
+    /// Every rung, top (most trusted) to bottom, for sweeps and tables.
+    pub const ALL: [RecoveryRung; 5] = [
+        RecoveryRung::ExactReplay,
+        RecoveryRung::TornTail,
+        RecoveryRung::Quarantine,
+        RecoveryRung::CheckpointFallback,
+        RecoveryRung::PristineReboot,
+    ];
+
+    /// Stable dense index (position in [`ALL`](Self::ALL)).
+    pub fn index(self) -> usize {
+        match self {
+            RecoveryRung::ExactReplay => 0,
+            RecoveryRung::TornTail => 1,
+            RecoveryRung::Quarantine => 2,
+            RecoveryRung::CheckpointFallback => 3,
+            RecoveryRung::PristineReboot => 4,
+        }
+    }
+
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryRung::ExactReplay => "exact-replay",
+            RecoveryRung::TornTail => "torn-tail",
+            RecoveryRung::Quarantine => "quarantine",
+            RecoveryRung::CheckpointFallback => "checkpoint-fallback",
+            RecoveryRung::PristineReboot => "pristine-reboot",
+        }
+    }
+
+    /// True on any rung that may have lost journal suffix (everything
+    /// below exact replay): recovery must demote the affected in-flight
+    /// work instead of trusting the replayed tables blindly.
+    pub fn lossy(self) -> bool {
+        !matches!(self, RecoveryRung::ExactReplay)
+    }
+}
+
+impl std::fmt::Display for RecoveryRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Crash-recovery configuration: when (and what) to crash, what to promise
 /// about in-flight work, and how the journal checkpoints.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +131,10 @@ pub struct CrashConfig {
     /// Downtime of the crashed component before it serves again, µs
     /// (process restart + journal replay, charged in simulated time).
     pub restart_penalty_us: f64,
+    /// Storage misbehavior applied to the durable journal between crash
+    /// and restart (`None` = the device persists everything byte-perfect,
+    /// the pre-durability behavior).
+    pub storage: Option<StorageFaultPlan>,
 }
 
 impl Default for CrashConfig {
@@ -60,6 +144,7 @@ impl Default for CrashConfig {
             semantics: CrashSemantics::AtLeastOnce,
             checkpoint_every: 64,
             restart_penalty_us: 50.0,
+            storage: None,
         }
     }
 }
@@ -91,34 +176,48 @@ impl CrashConfig {
         self
     }
 
+    /// Arms a storage fault: the durable journal is corrupted per `plan`
+    /// between the crash and the restart.
+    pub fn with_storage(mut self, plan: StorageFaultPlan) -> Self {
+        self.storage = Some(plan);
+        self
+    }
+
     /// Checks the config against the server's component counts.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self, orchestrators: usize, executors: usize) -> Result<(), String> {
+    /// Returns a typed [`ConfigError::Crash`] describing the first invalid
+    /// field.
+    pub fn validate(&self, orchestrators: usize, executors: usize) -> Result<(), ConfigError> {
+        let crash = |reason: String| ConfigError::Crash { reason };
         if self.checkpoint_every == 0 {
-            return Err("checkpoint_every must be positive".into());
+            // Zero cadence would ask for a checkpoint after every batch of
+            // zero records — an infinite loop at the first poll.
+            return Err(crash("checkpoint_every must be positive".into()));
         }
         // `is_finite` also rejects NaN.
         if !self.restart_penalty_us.is_finite() || self.restart_penalty_us < 0.0 {
-            return Err(format!(
+            return Err(crash(format!(
                 "restart_penalty_us must be finite and non-negative, got {}",
                 self.restart_penalty_us
-            ));
+            )));
         }
+        // `storage` with no crash plan is legal: cluster workers are
+        // killed by dispatcher events, not a CrashPlan, and the storage
+        // fault strikes at whatever crash actually fires.
         if let Some(plan) = &self.plan {
-            plan.validate()?;
+            plan.validate().map_err(crash)?;
             match plan.scope {
                 CrashScope::Executor(e) if e >= executors => {
-                    return Err(format!(
+                    return Err(crash(format!(
                         "crash targets executor {e} but only {executors} exist"
-                    ));
+                    )));
                 }
                 CrashScope::Orchestrator(o) if o >= orchestrators => {
-                    return Err(format!(
+                    return Err(crash(format!(
                         "crash targets orchestrator {o} but only {orchestrators} exist"
-                    ));
+                    )));
                 }
                 _ => {}
             }

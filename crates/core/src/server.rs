@@ -121,6 +121,10 @@ pub struct WorkerServer {
     bus: EventBus,
     /// Latest checkpoint (recovery restores from here).
     checkpoint: Option<WorkerCheckpoint>,
+    /// The checkpoint before the latest one, kept as the recovery
+    /// ladder's fallback when the latest checkpoint's seal no longer
+    /// verifies against the (possibly corrupted) durable log.
+    prev_checkpoint: Option<WorkerCheckpoint>,
     /// The injected crash that has not fired yet.
     crash_pending: Option<CrashPlan>,
     /// Warm sanitized PDs (code grant + stack/heap intact) with
@@ -186,6 +190,7 @@ impl WorkerServer {
             lifecycle: LifecycleEngine::new(),
             bus,
             checkpoint: None,
+            prev_checkpoint: None,
             crash_pending,
             pd_pool,
             pressure: MemoryPressure::Normal,

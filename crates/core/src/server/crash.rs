@@ -9,11 +9,15 @@ use jord_hw::types::{CoreId, PdId};
 use jord_hw::CrashScope;
 use jord_sim::{SimDuration, SimTime};
 
+use std::collections::BTreeMap;
+
+use crate::durability::{self, FrameAnomaly, ScanReport};
 use crate::events::{AbortCause, LifecycleEvent, RetryKind};
 use crate::invocation::{Invocation, InvocationId, Origin, Phase};
-use crate::journal::{PendingRetry, RecoveredState, WorkerCheckpoint};
+use crate::journal::{InvocationJournal, PendingRetry, RecoveredState, WorkerCheckpoint};
 use crate::lifecycle::InvocationState;
-use crate::recovery::CrashSemantics;
+use crate::recovery::{CrashSemantics, RecoveryRung};
+use crate::stats::RunReport;
 
 use super::{Event, StrandedRequest, WorkerServer};
 
@@ -72,7 +76,11 @@ impl WorkerServer {
                 .iter()
                 .map(|o| (o.external.len(), o.internal.len()))
                 .collect(),
+            seal: img.seal,
         };
+        // Keep one generation of history: the recovery ladder falls back
+        // to the previous checkpoint when the newest seal fails.
+        self.prev_checkpoint = self.checkpoint.take();
         self.checkpoint = Some(cp);
     }
 
@@ -287,9 +295,121 @@ impl WorkerServer {
         recovered
     }
 
-    /// Reboots the pristine process image and checks it reproduces the
-    /// checkpoint's durable (privileged/global) mappings bit-for-bit.
-    fn reboot(&mut self, checkpoint: &WorkerCheckpoint) {
+    /// Applies the armed storage fault (if any) to the durable log image,
+    /// scans the result frame by frame, and chooses the recovery ladder
+    /// rung: which checkpoint (if any) recovery may trust, and whether
+    /// the replayable suffix is exact or lossy. Emits the integrity
+    /// events ([`JournalScanned`](LifecycleEvent::JournalScanned),
+    /// [`CheckpointSealChecked`](LifecycleEvent::CheckpointSealChecked),
+    /// [`RecoveryRungTaken`](LifecycleEvent::RecoveryRungTaken)) along
+    /// the way.
+    fn storage_recovery_plan(&mut self) -> (ScanReport, RecoveryRung, Option<WorkerCheckpoint>) {
+        let cc = self.cfg.crash.expect("recovery requires a crash config");
+        let mut log: Vec<u8> = self
+            .bus
+            .journal()
+            .expect("recovery requires the journal")
+            .durable_log()
+            .bytes()
+            .to_vec();
+        let mut current = self
+            .checkpoint
+            .clone()
+            .expect("journaled runs checkpoint at start");
+        if let Some(plan) = cc.storage {
+            let strike = plan.strike(&mut self.rng);
+            if !durability::apply_strike(&mut log, &strike) {
+                // TruncatedCheckpoint: the log survived but the newest
+                // checkpoint image did not — its seal no longer verifies.
+                current.seal = current.seal.corrupted();
+            }
+        }
+        let scan = durability::scan(&log);
+        self.emit(LifecycleEvent::JournalScanned {
+            frames_verified: scan.frames_verified,
+            frames_quarantined: scan.frames_quarantined(),
+            truncated_bytes: scan.truncated_bytes,
+            duplicates_dropped: scan.duplicates_dropped,
+        });
+        let current_ok = current.seal.verifies(&log);
+        self.emit(LifecycleEvent::CheckpointSealChecked { ok: current_ok });
+        let (rung, base) = if current_ok {
+            let rung = match scan.anomaly {
+                None => RecoveryRung::ExactReplay,
+                Some(FrameAnomaly::TornTail) => RecoveryRung::TornTail,
+                Some(_) => RecoveryRung::Quarantine,
+            };
+            (rung, Some(current))
+        } else {
+            // The newest checkpoint is untrustworthy; try the previous
+            // one, then give up and reboot empty.
+            match self.prev_checkpoint.clone() {
+                Some(prev) => {
+                    let prev_ok = prev.seal.verifies(&log);
+                    self.emit(LifecycleEvent::CheckpointSealChecked { ok: prev_ok });
+                    if prev_ok {
+                        (RecoveryRung::CheckpointFallback, Some(prev))
+                    } else {
+                        (RecoveryRung::PristineReboot, None)
+                    }
+                }
+                None => (RecoveryRung::PristineReboot, None),
+            }
+        };
+        self.emit(LifecycleEvent::RecoveryRungTaken { rung });
+        (scan, rung, base)
+    }
+
+    /// Reconstructs the pre-crash ledger along the chosen rung.
+    ///
+    /// * Exact replay re-runs the existing proof-carrying path (and first
+    ///   checks the scanned frames decode to the in-memory record list —
+    ///   the codec's end-to-end witness).
+    /// * Lossy rungs with a trusted base checkpoint replay whatever
+    ///   verified suffix the scan salvaged over that base.
+    /// * The pristine rung reconstructs nothing: empty ledger, empty
+    ///   tables.
+    fn recover_via(
+        &mut self,
+        scan: &ScanReport,
+        rung: RecoveryRung,
+        base: Option<&WorkerCheckpoint>,
+    ) -> RecoveredState {
+        match (rung, base) {
+            (RecoveryRung::ExactReplay, Some(base)) => {
+                {
+                    let j = self.bus.journal().expect("recovery requires the journal");
+                    assert_eq!(
+                        scan.records.as_slice(),
+                        j.records(),
+                        "a clean scan must decode to the in-memory record list"
+                    );
+                }
+                self.replay_and_prove(base)
+            }
+            (_, Some(base)) => {
+                let recovered = InvocationJournal::replay_records(&scan.records, base);
+                self.emit(LifecycleEvent::Replayed {
+                    records: recovered.replayed,
+                });
+                recovered
+            }
+            (_, None) => RecoveredState {
+                report: RunReport::new(),
+                warmed: 0,
+                in_flight: BTreeMap::new(),
+                pending: BTreeMap::new(),
+                replayed: 0,
+            },
+        }
+    }
+
+    /// Reboots the pristine process image and — when a trusted checkpoint
+    /// survives — checks it reproduces the checkpoint's durable
+    /// (privileged/global) mappings bit-for-bit. `None` is the pristine
+    /// rung: nothing durable verified, so there is nothing to check
+    /// against.
+    fn reboot(&mut self, checkpoint: Option<&WorkerCheckpoint>) {
         let parts =
             Self::boot_parts(&self.cfg, &self.registry).expect("reboot of a validated config");
         self.machine = parts.machine;
@@ -299,6 +419,7 @@ impl WorkerServer {
         self.orchs = parts.orchs;
         self.execs = parts.execs;
         self.admission.reset_routing();
+        let Some(checkpoint) = checkpoint else { return };
         assert_eq!(
             self.privlib.table_snapshot().durable_footprint(),
             checkpoint.vma.durable_footprint(),
@@ -330,15 +451,31 @@ impl WorkerServer {
             .cfg
             .crash
             .expect("worker crash requires a crash config");
-        let checkpoint = self
-            .checkpoint
-            .clone()
-            .expect("journaled runs checkpoint at start");
         self.emit(LifecycleEvent::CrashKilled {
             count: self.slab.len() as u64,
         });
 
-        let recovered = self.replay_and_prove(&checkpoint);
+        // Scan the (possibly storage-struck) durable log, pick the
+        // recovery rung, and reconstruct whatever ledger the surviving
+        // bytes prove.
+        let (scan, rung, base) = self.storage_recovery_plan();
+        let recovered = self.recover_via(&scan, rung, base.as_ref());
+
+        // Settlement drives off the journal's *live* tables — the full
+        // truth of what was unfinished at the crash. On the exact rung
+        // these provably equal the replayed tables (`replay_and_prove`);
+        // on lossy rungs, entries the salvaged suffix cannot prove are
+        // demoted below.
+        let (live_in_flight, live_pending) = {
+            let j = self.bus.journal().expect("recovery requires the journal");
+            (
+                j.in_flight().values().copied().collect::<Vec<_>>(),
+                j.pending()
+                    .iter()
+                    .map(|(&token, &r)| (token, r))
+                    .collect::<Vec<_>>(),
+            )
+        };
 
         // The process dies: every continuation, queue entry, and pooled PD
         // evaporates — claims included, since the claimants died too.
@@ -356,12 +493,32 @@ impl WorkerServer {
             self.queue.push(at, ev);
         }
 
-        self.reboot(&checkpoint);
+        self.reboot(base.as_ref());
 
-        // Restore the replayed ledger and the checkpointed RNG streams.
-        self.bus.restore(recovered.report, recovered.warmed);
-        self.rng = checkpoint.rng.clone();
-        self.injector = checkpoint.injector.clone();
+        // Restore the reconstructed ledger. A lossy rung's report may
+        // miss tail records (offers never replay — they are not
+        // journaled — and lost terminals cannot be resurrected), so
+        // re-base `offered` on what the restored books can still settle:
+        // the terminals they already count plus every live request row,
+        // each of which terminalizes exactly once after the restart. On
+        // the exact rung this is an identity.
+        let mut report = recovered.report;
+        let settled = report.completed + report.faults.failed + report.faults.sheds;
+        let live_rows = self.lifecycle.len() as u64;
+        if rung.lossy() {
+            report.offered = settled + live_rows;
+        } else {
+            debug_assert_eq!(
+                report.offered,
+                settled + live_rows,
+                "exact replay reconstructs offered = settled + live rows"
+            );
+        }
+        self.bus.restore(report, recovered.warmed);
+        if let Some(base) = &base {
+            self.rng = base.rng.clone();
+            self.injector = base.injector.clone();
+        }
 
         // Settle interrupted work.
         let restart = t + self.restart_penalty();
@@ -370,11 +527,14 @@ impl WorkerServer {
                 // In-flight requests re-enter once the worker restarts;
                 // already-pending retries keep their token (and journal
                 // record) and fire no earlier than the restart.
-                for p in recovered.in_flight.values() {
+                for p in &live_in_flight {
                     let req = self
                         .lifecycle
                         .req_of_slab(p.id)
-                        .expect("every replayed in-flight entry has a request row");
+                        .expect("every live in-flight entry has a request row");
+                    if rung.lossy() && !recovered.in_flight.contains_key(&p.id.0) {
+                        self.emit(LifecycleEvent::WorkDemoted { req, readmit: true });
+                    }
                     let token = self.lifecycle.alloc_token();
                     self.emit(LifecycleEvent::RetryScheduled {
                         req,
@@ -404,14 +564,17 @@ impl WorkerServer {
                         },
                     );
                 }
-                for (&token, r) in recovered.pending.iter() {
+                for &(token, r) in &live_pending {
                     // The row is already RetryWait (the RetryScheduled that
-                    // created the token survived in the journal), so only
+                    // created the token happened before the crash), so only
                     // the timer event is re-armed — no new transition.
                     let req = self
                         .lifecycle
                         .req_of_token(token)
-                        .expect("every replayed pending entry has a request row");
+                        .expect("every live pending entry has a request row");
+                    if rung.lossy() && !recovered.pending.contains_key(&token) {
+                        self.emit(LifecycleEvent::WorkDemoted { req, readmit: true });
+                    }
                     self.queue.push(
                         r.due.max(restart),
                         Event::Retry {
@@ -431,12 +594,18 @@ impl WorkerServer {
                 // retry — terminally fails. Interrupted work reports
                 // through the ledger only (no notices): the tier above
                 // learns about it from the stranded-request path.
-                for p in recovered.in_flight.values() {
+                for p in &live_in_flight {
                     let measured = self.measuring();
                     let req = self
                         .lifecycle
                         .req_of_slab(p.id)
-                        .expect("every replayed in-flight entry has a request row");
+                        .expect("every live in-flight entry has a request row");
+                    if rung.lossy() && !recovered.in_flight.contains_key(&p.id.0) {
+                        self.emit(LifecycleEvent::WorkDemoted {
+                            req,
+                            readmit: false,
+                        });
+                    }
                     self.emit(LifecycleEvent::Failed {
                         req,
                         id: p.id,
@@ -446,12 +615,18 @@ impl WorkerServer {
                         notify: false,
                     });
                 }
-                for &token in recovered.pending.keys() {
+                for &(token, _) in &live_pending {
                     let measured = self.measuring();
                     let req = self
                         .lifecycle
                         .req_of_token(token)
-                        .expect("every replayed pending entry has a request row");
+                        .expect("every live pending entry has a request row");
+                    if rung.lossy() && !recovered.pending.contains_key(&token) {
+                        self.emit(LifecycleEvent::WorkDemoted {
+                            req,
+                            readmit: false,
+                        });
+                    }
                     self.emit(LifecycleEvent::RetryDropped {
                         req,
                         token,
@@ -572,10 +747,6 @@ impl WorkerServer {
     /// invariant holds even though cluster arrivals are pushed
     /// dynamically rather than pre-loaded.
     pub fn crash_for_cluster(&mut self, t: SimTime) -> Vec<StrandedRequest> {
-        let checkpoint = self
-            .checkpoint
-            .clone()
-            .expect("journaled runs checkpoint at start");
         self.emit(LifecycleEvent::Crashed {
             scope: "cluster-worker",
         });
@@ -583,8 +754,13 @@ impl WorkerServer {
             count: self.slab.len() as u64,
         });
 
-        // Replay and prove, exactly as in `crash_worker`.
-        let recovered = self.replay_and_prove(&checkpoint);
+        // Scan, pick the rung, and reconstruct, exactly as in
+        // `crash_worker`. A worker whose journal is unrecoverable
+        // (pristine rung) restarts with empty books — like a phi-evicted
+        // worker, its unfinished work re-derives through the stranding
+        // below and the dispatcher's cross-worker retry.
+        let (scan, rung, base) = self.storage_recovery_plan();
+        let recovered = self.recover_via(&scan, rung, base.as_ref());
 
         // Everything in the process dies. Unlike a standalone crash,
         // undelivered arrivals do not survive in place: the outside
@@ -619,16 +795,21 @@ impl WorkerServer {
             });
         }
 
-        self.reboot(&checkpoint);
+        self.reboot(base.as_ref());
 
         // Restore the replayed ledger. Cluster arrivals are pushed
         // dynamically (never pre-loaded), so the checkpointed `offered`
         // undercounts by whatever was in the network at checkpoint
         // time; the stranded requests leave this worker's books
-        // entirely, so rebase `offered` on the terminal counters.
+        // entirely, so rebase `offered` on the terminal counters. (On a
+        // lossy rung the terminals themselves may undercount — the
+        // dispatcher's notice-driven ledger, not this worker's books, is
+        // what the cluster conservation invariant audits.)
         self.bus.restore_rebased(recovered.report, recovered.warmed);
-        self.rng = checkpoint.rng.clone();
-        self.injector = checkpoint.injector.clone();
+        if let Some(base) = &base {
+            self.rng = base.rng.clone();
+            self.injector = base.injector.clone();
+        }
 
         // Retire the dead process's journal into the cumulative
         // counters and start a fresh one for the rebooted image: the

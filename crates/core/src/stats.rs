@@ -65,6 +65,62 @@ pub struct CrashStats {
     pub readmitted: u64,
 }
 
+/// Durable-storage counters: what the framed journal's scanner, the
+/// checkpoint seals, and the recovery ladder saw and did. All zero on a
+/// run that never crashed (the scanner only runs at recovery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Frames whose checksum and sequence verified during recovery scans.
+    pub frames_verified: u64,
+    /// Frames rejected by a checksum/decode failure (corrupt interior).
+    pub frames_quarantined: u64,
+    /// Bytes discarded off the end of the log as a torn tail.
+    pub truncated_bytes: u64,
+    /// Duplicate frames (sequence regressions) dropped by the scanner.
+    pub duplicates_dropped: u64,
+    /// Checkpoint seals that failed verification against the log.
+    pub seal_failures: u64,
+    /// Recoveries that took the exact-replay rung (clean log).
+    pub exact_replays: u64,
+    /// Recoveries that truncated a torn tail and replayed the prefix.
+    pub torn_tails: u64,
+    /// Recoveries that quarantined a corrupt interior frame.
+    pub quarantines: u64,
+    /// Recoveries that fell back to an earlier sealed checkpoint.
+    pub checkpoint_fallbacks: u64,
+    /// Recoveries with no verifiable checkpoint at all: pristine reboot.
+    pub pristine_reboots: u64,
+    /// In-flight work demoted by a lossy rung and re-admitted
+    /// (at-least-once).
+    pub demoted_readmitted: u64,
+    /// In-flight work demoted by a lossy rung and terminally failed
+    /// (at-most-once).
+    pub demoted_failed: u64,
+}
+
+impl DurabilityStats {
+    /// Folds another worker's counters into this (cluster-level) copy.
+    pub fn merge(&mut self, other: &DurabilityStats) {
+        self.frames_verified += other.frames_verified;
+        self.frames_quarantined += other.frames_quarantined;
+        self.truncated_bytes += other.truncated_bytes;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.seal_failures += other.seal_failures;
+        self.exact_replays += other.exact_replays;
+        self.torn_tails += other.torn_tails;
+        self.quarantines += other.quarantines;
+        self.checkpoint_fallbacks += other.checkpoint_fallbacks;
+        self.pristine_reboots += other.pristine_reboots;
+        self.demoted_readmitted += other.demoted_readmitted;
+        self.demoted_failed += other.demoted_failed;
+    }
+
+    /// Total lossy-rung recoveries (anything below exact replay).
+    pub fn lossy_recoveries(&self) -> u64 {
+        self.torn_tails + self.quarantines + self.checkpoint_fallbacks + self.pristine_reboots
+    }
+}
+
 /// Cluster-layer failover counters: what the dispatcher's health and
 /// routing machinery did to (or for) this worker, or — in the cluster-wide
 /// copy — across the whole fleet.
@@ -324,6 +380,9 @@ pub struct RunReport {
     pub faults: FaultStats,
     /// Crash-injection and recovery counters.
     pub crash: CrashStats,
+    /// Durable-storage integrity counters (frame scans, checkpoint seals,
+    /// recovery-ladder rungs).
+    pub durability: DurabilityStats,
     /// PD snapshot-sanitization counters.
     pub sanitize: SanitizeStats,
     /// Cluster-failover counters; all zero in single-worker runs (filled
@@ -355,6 +414,7 @@ impl RunReport {
             spilled: 0,
             faults: FaultStats::default(),
             crash: CrashStats::default(),
+            durability: DurabilityStats::default(),
             sanitize: SanitizeStats::default(),
             failover: FailoverStats::default(),
             autoscale: AutoscaleStats::default(),

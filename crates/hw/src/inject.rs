@@ -232,6 +232,131 @@ impl CrashPlan {
     }
 }
 
+/// The five partial-failure modes of a durable log device.
+///
+/// A crash is never the interesting part — the journal surviving it
+/// byte-perfect is. Real disks tear the last sectors of an in-flight
+/// write, rot single bits, acknowledge writes they never persisted,
+/// replay buffered writes twice, and truncate sidecar files. Each mode
+/// here corrupts the write-ahead journal (or its checkpoint) *between*
+/// crash and restart, so recovery has to earn its replay instead of
+/// assuming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// The tail of the log is partially written: the final frame is cut
+    /// mid-bytes, as a power loss mid-`write(2)` would leave it.
+    TornTail,
+    /// One bit of one interior frame's payload flips (media rot). The
+    /// frame's length header survives, so the log still *parses* — only
+    /// the checksum betrays it.
+    BitFlip,
+    /// One interior frame was acknowledged but never persisted (lost /
+    /// misdirected write): its bytes vanish, leaving a sequence gap.
+    DroppedWrite,
+    /// One interior frame is persisted twice back-to-back (a replayed
+    /// write buffer), leaving a sequence regression.
+    DuplicatedFrame,
+    /// The newest checkpoint image is truncated: its integrity seal no
+    /// longer verifies, forcing recovery onto an older checkpoint.
+    TruncatedCheckpoint,
+}
+
+impl StorageFaultKind {
+    /// Every storage fault mode, for exhaustive sweeps.
+    pub const ALL: [StorageFaultKind; 5] = [
+        StorageFaultKind::TornTail,
+        StorageFaultKind::BitFlip,
+        StorageFaultKind::DroppedWrite,
+        StorageFaultKind::DuplicatedFrame,
+        StorageFaultKind::TruncatedCheckpoint,
+    ];
+
+    /// Stable dense index (position in [`ALL`](Self::ALL)).
+    pub fn index(self) -> usize {
+        match self {
+            StorageFaultKind::TornTail => 0,
+            StorageFaultKind::BitFlip => 1,
+            StorageFaultKind::DroppedWrite => 2,
+            StorageFaultKind::DuplicatedFrame => 3,
+            StorageFaultKind::TruncatedCheckpoint => 4,
+        }
+    }
+
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageFaultKind::TornTail => "torn-tail",
+            StorageFaultKind::BitFlip => "bit-flip",
+            StorageFaultKind::DroppedWrite => "dropped-write",
+            StorageFaultKind::DuplicatedFrame => "duplicated-frame",
+            StorageFaultKind::TruncatedCheckpoint => "truncated-checkpoint",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A seeded plan to corrupt the durable journal when the next crash
+/// fires. The plan names only the *mode*; the concrete coordinates
+/// (which frame, which byte, which bit, how deep a tear) are drawn
+/// deterministically from the run's RNG via [`strike`](Self::strike),
+/// so the same seed always corrupts the same bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFaultPlan {
+    /// Which partial-failure mode the device exhibits.
+    pub kind: StorageFaultKind,
+    /// Stream salt mixed into the strike draw, so campaign grids can
+    /// vary the struck coordinates without changing the run seed.
+    pub salt: u64,
+}
+
+impl StorageFaultPlan {
+    /// A plan for `kind` with the default stream salt.
+    pub fn new(kind: StorageFaultKind) -> Self {
+        StorageFaultPlan { kind, salt: 0 }
+    }
+
+    /// Returns the plan with a different stream salt.
+    pub fn salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Draws the concrete strike coordinates from `rng`.
+    ///
+    /// The picks are raw entropy; the storage layer that owns the frame
+    /// geometry reduces them onto real frame/byte/bit/tear ranges. This
+    /// keeps jord-hw ignorant of the journal's encoding while the draw
+    /// stays on the seeded, replayable stream.
+    pub fn strike(&self, rng: &mut Rng) -> StorageStrike {
+        let mut r = rng.fork(self.salt ^ 0x0053_544F_524D_u64); // "STORM"
+        StorageStrike {
+            kind: self.kind,
+            frame_pick: r.next_u64(),
+            byte_pick: r.next_u64(),
+            bit_pick: r.next_below(8) as u8,
+        }
+    }
+}
+
+/// Concrete coordinates of one storage corruption, fixed at crash time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStrike {
+    /// The failure mode being acted out.
+    pub kind: StorageFaultKind,
+    /// Entropy for choosing the struck frame (reduce modulo the frame
+    /// count).
+    pub frame_pick: u64,
+    /// Entropy for choosing the struck byte offset / tear depth.
+    pub byte_pick: u64,
+    /// Which bit of the struck byte flips (0..8).
+    pub bit_pick: u8,
+}
+
 /// One planned act of misbehavior within an invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlannedFault {
@@ -314,6 +439,14 @@ impl FaultInjector {
         self.cfg.vlb_glitch_rate > 0.0 && self.rng.chance(self.cfg.vlb_glitch_rate)
     }
 
+    /// Draws the concrete corruption coordinates for `plan` from this
+    /// injector's seeded stream. Only called when a storage fault is
+    /// actually armed — unarmed runs consume no randomness here, so
+    /// clean configs stay byte-identical to runs without the feature.
+    pub fn storage_strike(&mut self, plan: StorageFaultPlan) -> StorageStrike {
+        plan.strike(&mut self.rng)
+    }
+
     /// Decides whether a heartbeat sent at `at_us` reaches the dispatcher.
     ///
     /// The partition window is checked first and consumes no randomness,
@@ -355,6 +488,27 @@ mod tests {
             assert_eq!(a.plan(5), b.plan(5));
             assert_eq!(a.glitch(), b.glitch());
         }
+    }
+
+    #[test]
+    fn storage_strikes_are_seed_deterministic_and_in_range() {
+        for kind in StorageFaultKind::ALL {
+            let plan = StorageFaultPlan::new(kind).salt(kind.index() as u64);
+            let mut a = Rng::new(99);
+            let mut b = Rng::new(99);
+            let s = plan.strike(&mut a);
+            assert_eq!(s, plan.strike(&mut b));
+            assert_eq!(s.kind, kind);
+            assert!(s.bit_pick < 8);
+        }
+    }
+
+    #[test]
+    fn distinct_salts_strike_distinct_coordinates() {
+        let base = StorageFaultPlan::new(StorageFaultKind::BitFlip);
+        let a = base.strike(&mut Rng::new(5));
+        let b = base.salt(1).strike(&mut Rng::new(5));
+        assert_ne!((a.frame_pick, a.byte_pick), (b.frame_pick, b.byte_pick));
     }
 
     #[test]

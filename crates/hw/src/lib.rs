@@ -63,7 +63,7 @@ pub use csr::{CoreCsrs, Csr};
 pub use fault::{Fault, FaultKind};
 pub use inject::{
     CrashPlan, CrashScope, FaultInjector, InjectConfig, InjectionPlan, PartitionWindow,
-    PlannedFault,
+    PlannedFault, StorageFaultKind, StorageFaultPlan, StorageStrike,
 };
 pub use machine::{HwStats, Machine};
 pub use noc::Noc;

@@ -72,6 +72,7 @@ pub mod loadgen;
 pub mod runner;
 pub mod slo;
 pub mod soak;
+pub mod storage;
 
 pub use apps::{EntryPoint, Workload, WorkloadKind};
 pub use autoscale::{AutoscaleCampaign, AutoscalePoint, AutoscaleReport};
@@ -82,3 +83,4 @@ pub use loadgen::{ArrivalProcess, LoadGen};
 pub use runner::{run_system, SweepPoint, System};
 pub use slo::{measure_slo, throughput_under_slo, SloError};
 pub use soak::{SoakCampaign, SoakDay, SoakReport};
+pub use storage::{ClusterStoragePoint, StorageChaosCampaign, StoragePoint, StorageReport};
