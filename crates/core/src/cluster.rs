@@ -1539,6 +1539,32 @@ mod tests {
     }
 
     #[test]
+    fn hedge_pullback_accounting_is_exact_without_faults() {
+        // Every hedge creates exactly one redundant copy, and with no
+        // crashes, drains, or rebalances in play that copy has exactly
+        // two fates: pulled back undispatched when the first response
+        // wins (`cancelled`, an O(1) tombstone cancel in the worker's
+        // event queue), or left to finish late (`duplicated`). The
+        // first-response-wins path must therefore un-offer *exactly* the
+        // redundant copies — no double-cancels, no leaks.
+        let mut cfg = base_cfg(3);
+        cfg.hedge = Some(HedgeConfig { after_us: 2.0 });
+        let (mut c, _) = cluster_with_load(cfg, 600, 100);
+        let rep = c.run();
+        assert_eq!(rep.completed, 600);
+        assert!(rep.failover.hedges > 0, "load must trigger hedging");
+        assert_eq!(
+            rep.failover.cancelled + rep.failover.duplicated,
+            rep.failover.hedges,
+            "each hedge's redundant copy is either pulled back or duplicated"
+        );
+        // A cancelled copy never produced work, so completions count
+        // every request exactly once.
+        let sum: u64 = rep.workers.iter().map(|w| w.completed).sum();
+        assert_eq!(sum, 600 + rep.failover.duplicated);
+    }
+
+    #[test]
     fn drain_rebalances_queued_work_and_resumes() {
         let mut cfg = base_cfg(2);
         cfg.drains = vec![DrainPlan {

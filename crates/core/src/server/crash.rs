@@ -489,8 +489,12 @@ impl WorkerServer {
             .into_iter()
             .filter(|(_, ev)| matches!(ev, Event::Arrival { .. }))
             .collect();
+        self.arrival_eids.clear();
         for (at, ev) in survivors {
-            self.queue.push(at, ev);
+            let eid = self.queue.schedule(at, ev);
+            if let Event::Arrival { req, .. } = ev {
+                self.arrival_eids.insert(req, eid);
+            }
         }
 
         self.reboot(base.as_ref());
@@ -680,12 +684,16 @@ impl WorkerServer {
             InvocationState::Offered => {
                 // An undelivered arrival: no invocation exists yet, so the
                 // withdrawal only unwinds the ledger (nothing was
-                // journaled).
-                let removed = self
-                    .queue
-                    .remove_first(|ev| matches!(ev, Event::Arrival { req, .. } if *req == row.req));
+                // journaled). The handle recorded at schedule time makes
+                // this an O(1) tombstone cancel — no queue scan, no
+                // rebuild.
+                let eid = self
+                    .arrival_eids
+                    .remove(&row.req)
+                    .expect("an Offered row always has its arrival handle");
+                let outcome = self.queue.cancel(eid);
                 debug_assert!(
-                    removed.is_some(),
+                    outcome.is_cancelled(),
                     "an Offered row always has its arrival in the event queue"
                 );
                 self.emit(LifecycleEvent::Cancelled {
@@ -768,6 +776,7 @@ impl WorkerServer {
         self.slab.clear();
         self.pd_pool = crate::memory::PdPool::new(self.registry.len());
         let _ = self.queue.drain();
+        self.arrival_eids.clear();
 
         // Every unfinished request — undelivered arrival (`Offered`),
         // queued/in-flight (`Queued`/`InFlight`), or awaiting a local

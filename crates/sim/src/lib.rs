@@ -11,7 +11,11 @@
 //!   (one 4 GHz cycle = 250 ps), so every latency in the paper's Table 2/4 is
 //!   representable exactly.
 //! * [`EventQueue`] — a total-order event queue with deterministic FIFO
-//!   tie-breaking for simultaneous events.
+//!   tie-breaking for simultaneous events. Implemented as a slab-backed
+//!   calendar queue with a far-future overflow heap and O(1) tombstone
+//!   cancellation ([`EventId`]/[`CancelOutcome`]); the pre-refactor binary
+//!   heap survives in [`oracle`] as the differential-test oracle and the
+//!   recorded bench baseline.
 //! * [`Rng`] (xoshiro256++) and [`dist`] — seeded, reproducible random number
 //!   generation and the distributions used by the load generator and workload
 //!   models (exponential inter-arrivals for Poisson processes, log-normal
@@ -39,13 +43,14 @@
 //! [`jord-hw`]: https://example.com/jord-rs
 
 pub mod dist;
+pub mod oracle;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::TimeDist;
-pub use queue::EventQueue;
+pub use queue::{CancelOutcome, EventId, EventQueue, QueueProbe};
 pub use rng::Rng;
 pub use stats::{LatencyHistogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

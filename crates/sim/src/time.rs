@@ -37,6 +37,11 @@ impl SimTime {
     /// The origin of simulated time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The last representable instant (~213 days in). Scheduling an event
+    /// here is legal; the calendar queue's far-future overflow handles it
+    /// without arithmetic overflow.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Constructs an instant `ps` picoseconds after simulation start.
     pub const fn from_ps(ps: u64) -> Self {
         SimTime(ps)
