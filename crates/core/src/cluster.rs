@@ -37,8 +37,14 @@
 //!   fleet hash — identical seeds reproduce identical decisions and
 //!   traces.
 
-use jord_hw::{FaultInjector, InjectConfig, PartitionWindow, StorageFaultPlan};
-use jord_sim::{EventQueue, LatencyHistogram, Rng, SimDuration, SimTime};
+mod parallel;
+mod shard;
+
+pub use parallel::EngineConfig;
+use shard::WorkerShard;
+
+use jord_hw::{PartitionWindow, StorageFaultPlan};
+use jord_sim::{EventQueue, LatencyHistogram, QueueProbe, Rng, SimDuration, SimTime};
 
 use crate::admission::BrownoutLevel;
 use crate::autoscaler::{
@@ -47,7 +53,7 @@ use crate::autoscaler::{
 use crate::config::{ConfigError, RuntimeConfig};
 use crate::events::{NoticeOutcome, WorkerNotice};
 use crate::function::{FunctionId, FunctionRegistry};
-use crate::health::{DetectorConfig, PhiAccrual, WorkerHealth};
+use crate::health::{DetectorConfig, WorkerHealth};
 use crate::memory::{MemoryLedger, MemoryPressure};
 use crate::recovery::{CrashConfig, CrashSemantics};
 use crate::server::WorkerServer;
@@ -133,6 +139,10 @@ pub struct ClusterConfig {
     /// *initial* fleet size; the autoscaler moves it within
     /// [`AutoscalerConfig::min_workers`]..=[`AutoscalerConfig::max_workers`].
     pub autoscale: Option<AutoscalerConfig>,
+    /// Conservative parallel engine, if enabled. `None` runs the
+    /// sequential interleaved clock — the differential oracle the
+    /// parallel engine must match bit-for-bit at any thread count.
+    pub engine: Option<EngineConfig>,
 }
 
 impl ClusterConfig {
@@ -153,6 +163,7 @@ impl ClusterConfig {
             heartbeat_loss_rate: 0.0,
             partition: None,
             autoscale: None,
+            engine: None,
         }
     }
 
@@ -245,6 +256,28 @@ impl ClusterConfig {
                 .validate()
                 .map_err(|reason| ConfigError::Cluster { reason })?;
         }
+        if let Some(e) = &self.engine {
+            if e.threads == 0 {
+                return bad("engine.threads must be at least 1".into());
+            }
+            if !e.lookahead_us.is_finite() || e.lookahead_us <= 0.0 {
+                return bad(format!(
+                    "engine.lookahead_us must be positive and finite, got {} \
+                     (zero lookahead admits zero-width windows: the horizon \
+                     could never pass the earliest shard)",
+                    e.lookahead_us
+                ));
+            }
+            if e.lookahead_us > self.detector.heartbeat_every_us {
+                return bad(format!(
+                    "engine.lookahead_us ({} µs) must not exceed the heartbeat \
+                     interval ({} µs): a window wider than the heartbeat cadence \
+                     would let a shard run past detector timers the dispatcher \
+                     has yet to arm",
+                    e.lookahead_us, self.detector.heartbeat_every_us
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -304,35 +337,6 @@ struct RequestState {
     /// Which copy is the hedge (for first-response attribution).
     hedge_worker: Option<usize>,
     outcome: Option<Outcome>,
-}
-
-/// One worker plus the dispatcher's view of it.
-struct WorkerSlot {
-    server: WorkerServer,
-    detector: PhiAccrual,
-    health: WorkerHealth,
-    /// Ground truth, invisible to routing: the process is dead. The
-    /// dispatcher only learns via the detector.
-    crashed: bool,
-    crashed_at: SimTime,
-    /// Drops heartbeats per loss rate / partition window.
-    hb_injector: FaultInjector,
-    /// A rebooting worker heartbeats again only after this instant.
-    hb_resume_at: SimTime,
-    /// Consecutive delivered heartbeats since eviction.
-    probation: u32,
-    /// Dispatcher-tracked outstanding copies (the JSQ key).
-    assigned: u64,
-    /// Worker-health counters (heartbeats, suspicion, detection).
-    stats: FailoverStats,
-    /// Scale-down in progress: draining toward permanent removal.
-    retiring: bool,
-    /// Permanently removed (never routed to, heartbeats ignored).
-    retired: bool,
-    /// When this worker joined the fleet (ZERO for the initial fleet).
-    spawned_at: SimTime,
-    /// When retirement completed (worker-seconds accounting).
-    retired_at: SimTime,
 }
 
 /// One autoscaler evaluation window as the dispatcher recorded it: the
@@ -403,6 +407,11 @@ pub struct ClusterReport {
     /// Fleet durability counters: every worker's storage-integrity and
     /// recovery-ladder stats merged.
     pub durability: DurabilityStats,
+    /// Event-queue op counters: the dispatcher's own queue merged with
+    /// every shard's ([`QueueProbe::merge`]). The sums are partition-
+    /// invariant, so O(1)-cancel regressions stay assertable whatever
+    /// the engine's thread count.
+    pub probe: QueueProbe,
 }
 
 impl ClusterReport {
@@ -420,17 +429,15 @@ impl ClusterReport {
     }
 }
 
-/// Stream id salt for per-worker heartbeat-network RNGs, so they are
-/// disjoint from the workers' own `derive_seed(seed, w)` streams.
-const HB_STREAM: u64 = 0x4845_4152_5442_4541; // "HEARTBEA"
-
 /// The front-end: owns the workers and runs the whole cluster to
-/// completion under one deterministic clock.
+/// completion under one deterministic clock (sequential engine) or to
+/// barrier-synchronized conservative horizons (parallel engine,
+/// [`EngineConfig`]) — the two are bit-identical per seed.
 pub struct ClusterDispatcher {
     cfg: ClusterConfig,
     /// The function registry, kept so scale-up can boot fresh workers.
     registry: FunctionRegistry,
-    slots: Vec<WorkerSlot>,
+    slots: Vec<WorkerShard>,
     events: EventQueue<ClusterEvent>,
     requests: Vec<RequestState>,
     /// Requests not yet settled.
@@ -478,7 +485,7 @@ impl ClusterDispatcher {
         let mut slots = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
             let server = Self::boot_worker(&cfg, &registry, w as u64)?;
-            slots.push(Self::slot(&cfg, server, w as u64, SimTime::ZERO));
+            slots.push(WorkerShard::new(&cfg, server, w as u64, SimTime::ZERO));
         }
         let mut events = EventQueue::new();
         let hb = SimDuration::from_ns_f64(cfg.detector.heartbeat_every_us * 1_000.0);
@@ -545,37 +552,6 @@ impl ClusterDispatcher {
         WorkerServer::new(rt, registry.clone())
     }
 
-    /// Wraps a booted server in a fresh slot. Scripted partitions only
-    /// ever target the initial fleet (validated against `cfg.workers`),
-    /// so spawned workers get a loss-rate-only heartbeat injector.
-    fn slot(cfg: &ClusterConfig, server: WorkerServer, stream: u64, at: SimTime) -> WorkerSlot {
-        let hb_cfg = InjectConfig {
-            heartbeat_loss_rate: cfg.heartbeat_loss_rate,
-            partition: cfg
-                .partition
-                .filter(|p| p.worker as u64 == stream && (stream as usize) < cfg.workers)
-                .map(|p| PartitionWindow::new(p.from_us, p.until_us)),
-            ..InjectConfig::default()
-        };
-        let hb_rng = Rng::new(Rng::derive_seed(cfg.seed, HB_STREAM ^ stream));
-        WorkerSlot {
-            server,
-            detector: PhiAccrual::new(cfg.detector),
-            health: WorkerHealth::Healthy,
-            crashed: false,
-            crashed_at: SimTime::ZERO,
-            hb_injector: FaultInjector::new(hb_cfg, hb_rng),
-            hb_resume_at: SimTime::ZERO,
-            probation: 0,
-            assigned: 0,
-            stats: FailoverStats::default(),
-            retiring: false,
-            retired: false,
-            spawned_at: at,
-            retired_at: SimTime::ZERO,
-        }
-    }
-
     /// Schedules an external request to reach the dispatcher at `at`.
     /// Call before [`run`](Self::run). Returns the request's tag.
     pub fn push_request(&mut self, at: SimTime, func: FunctionId, bytes: u64) -> u64 {
@@ -596,43 +572,65 @@ impl ClusterDispatcher {
     }
 
     /// Runs the cluster to completion and returns the merged report.
+    ///
+    /// With [`ClusterConfig::engine`] unset this is the sequential
+    /// interleaved clock; with it set, the conservative parallel engine
+    /// ([`EngineConfig`]) produces the bit-identical result in
+    /// barrier-synchronized windows.
     pub fn run(&mut self) -> ClusterReport {
         let prewarm = self.cfg.autoscale.map_or(0, |a| a.prewarm_pds);
         for slot in &mut self.slots {
             slot.server.begin();
             slot.server.prefill_pd_pools(prewarm);
         }
-        loop {
-            // The globally earliest event wins; a worker beats the
-            // dispatcher on ties so notices for time t are in hand
-            // before the dispatcher acts at t. Crashed workers are
-            // frozen — a dead process pops nothing.
-            let worker_next = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.crashed)
-                .filter_map(|(w, s)| s.server.next_event_time().map(|t| (t, w)))
-                .min();
-            let cluster_next = self.events.peek_time();
-            match (worker_next, cluster_next) {
-                (None, None) => break,
-                (Some((wt, w)), ct) if ct.is_none() || wt <= ct.unwrap() => {
-                    self.finished_at = self.finished_at.max(wt);
-                    self.slots[w].server.step();
-                    for n in self.slots[w].server.take_notices() {
-                        // Deliver at the notice's own timestamp (≥ wt).
-                        self.events.push(n.at, ClusterEvent::Notice(w, n));
-                    }
-                }
-                _ => {
-                    let (t, ev) = self.events.pop().expect("cluster_next was Some");
-                    self.finished_at = self.finished_at.max(t);
-                    self.on_cluster_event(t, ev);
-                }
-            }
+        match self.cfg.engine {
+            Some(engine) => self.run_conservative(engine),
+            None => while self.advance_once(None) {},
         }
         self.seal()
+    }
+
+    /// Processes the globally earliest pending event at or before
+    /// `bound` (no bound when `None`); returns `false` when nothing
+    /// qualifies. This is the sequential engine's entire scheduling
+    /// rule, and — bounded by a window horizon — the parallel engine's
+    /// serial barrier phase, so the tie discipline can never diverge
+    /// between the two.
+    fn advance_once(&mut self, bound: Option<SimTime>) -> bool {
+        // The globally earliest event wins; a worker beats the
+        // dispatcher on ties so notices for time t are in hand
+        // before the dispatcher acts at t. Crashed workers are
+        // frozen — a dead process pops nothing.
+        let worker_next = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.crashed)
+            .filter_map(|(w, s)| s.server.next_event_time().map(|t| (t, w)))
+            .min()
+            .filter(|&(wt, _)| bound.is_none_or(|b| wt <= b));
+        let cluster_next = self
+            .events
+            .peek_time()
+            .filter(|&ct| bound.is_none_or(|b| ct <= b));
+        match (worker_next, cluster_next) {
+            (None, None) => false,
+            (Some((wt, w)), ct) if ct.is_none() || wt <= ct.unwrap() => {
+                self.finished_at = self.finished_at.max(wt);
+                self.slots[w].server.step();
+                for n in self.slots[w].server.take_notices() {
+                    // Deliver at the notice's own timestamp (≥ wt).
+                    self.events.push(n.at, ClusterEvent::Notice(w, n));
+                }
+                true
+            }
+            _ => {
+                let (t, ev) = self.events.pop().expect("cluster_next was Some");
+                self.finished_at = self.finished_at.max(t);
+                self.on_cluster_event(t, ev);
+                true
+            }
+        }
     }
 
     // --------------------------------------------------------------
@@ -1190,7 +1188,7 @@ impl ClusterDispatcher {
         self.next_stream += 1;
         let server = Self::boot_worker(&self.cfg, &self.registry, stream)
             .expect("template already validated at cluster construction");
-        let mut slot = Self::slot(&self.cfg, server, stream, t);
+        let mut slot = WorkerShard::new(&self.cfg, server, stream, t);
         slot.server.begin();
         slot.server.prefill_pd_pools(prewarm);
         slot.server.set_brownout(t, self.brownout);
@@ -1317,6 +1315,7 @@ impl ClusterDispatcher {
             trace_hash,
             memory: MemoryLedger::default(),
             durability: DurabilityStats::default(),
+            probe: self.events.probe(),
         };
         for req in &self.requests {
             match req.outcome {
@@ -1327,6 +1326,7 @@ impl ClusterDispatcher {
             }
         }
         for slot in &mut self.slots {
+            report.probe.merge(&slot.server.queue_probe());
             let mut rep = slot.server.seal();
             rep.failover = slot.stats;
             report.failover.merge(&slot.stats);
@@ -1391,6 +1391,119 @@ mod tests {
 
     fn base_cfg(workers: usize) -> ClusterConfig {
         ClusterConfig::new(workers, 42, RuntimeConfig::jord_32())
+    }
+
+    /// Runs one scenario under the sequential oracle and the parallel
+    /// engine at 1/2/4 threads; every observable — fleet trace hash,
+    /// ledger counters, latency tail, windows, finish time — must be
+    /// bit-identical.
+    fn assert_engine_parity(cfg: ClusterConfig, n: u64, gap_ns: u64) {
+        let mut seq_cfg = cfg.clone();
+        seq_cfg.engine = None;
+        let (mut seq, _) = cluster_with_load(seq_cfg, n, gap_ns);
+        let oracle = seq.run();
+        for threads in [1, 2, 4] {
+            let mut pcfg = cfg.clone();
+            pcfg.engine = Some(EngineConfig::threads(threads));
+            let (mut par, _) = cluster_with_load(pcfg, n, gap_ns);
+            let rep = par.run();
+            assert_eq!(
+                rep.trace_hash, oracle.trace_hash,
+                "fleet trace hash must match the sequential oracle at {threads} threads"
+            );
+            assert_eq!(rep.completed, oracle.completed, "@{threads} threads");
+            assert_eq!(rep.failed, oracle.failed, "@{threads} threads");
+            assert_eq!(rep.shed, oracle.shed, "@{threads} threads");
+            assert_eq!(rep.failover, oracle.failover, "@{threads} threads");
+            assert_eq!(rep.finished_at, oracle.finished_at, "@{threads} threads");
+            assert_eq!(rep.p99(), oracle.p99(), "@{threads} threads");
+            assert_eq!(rep.windows, oracle.windows, "@{threads} threads");
+            // The op-count sums are partition-invariant even though the
+            // per-queue geometry is not.
+            assert_eq!(
+                rep.probe.scheduled, oracle.probe.scheduled,
+                "@{threads} threads"
+            );
+            assert_eq!(rep.probe.popped, oracle.probe.popped, "@{threads} threads");
+            assert_eq!(
+                rep.probe.cancelled, oracle.probe.cancelled,
+                "@{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_oracle_on_a_quiet_cluster() {
+        assert_engine_parity(base_cfg(3), 400, 300);
+    }
+
+    #[test]
+    fn parallel_engine_matches_oracle_through_a_crash() {
+        let mut cfg = base_cfg(4);
+        cfg.kill = Some(WorkerKill {
+            worker: 1,
+            at_us: 100.0,
+        });
+        assert_engine_parity(cfg, 1_000, 300);
+    }
+
+    #[test]
+    fn parallel_engine_matches_oracle_through_hedged_pullbacks() {
+        let mut cfg = base_cfg(3);
+        cfg.hedge = Some(HedgeConfig { after_us: 2.0 });
+        assert_engine_parity(cfg, 600, 100);
+    }
+
+    #[test]
+    fn parallel_engine_matches_oracle_through_partition_and_drain() {
+        let mut cfg = base_cfg(4);
+        cfg.partition = Some(PartitionPlan {
+            worker: 1,
+            from_us: 100.0,
+            until_us: 160.0,
+        });
+        cfg.drains = vec![DrainPlan {
+            worker: 0,
+            at_us: 4.0,
+            resume_at_us: Some(40.0),
+        }];
+        cfg.heartbeat_loss_rate = 0.05;
+        assert_engine_parity(cfg, 800, 150);
+    }
+
+    #[test]
+    fn validate_rejects_bad_engine_configs() {
+        let mut c = base_cfg(2);
+        c.engine = Some(EngineConfig::threads(4));
+        assert!(c.validate().is_ok(), "a sane engine config passes");
+        c.engine = Some(EngineConfig {
+            threads: 0,
+            ..EngineConfig::threads(1)
+        });
+        assert!(c.validate().is_err(), "zero threads");
+        c.engine = Some(EngineConfig {
+            lookahead_us: 0.0,
+            ..EngineConfig::threads(2)
+        });
+        assert!(c.validate().is_err(), "zero lookahead");
+        c.engine = Some(EngineConfig {
+            lookahead_us: -1.0,
+            ..EngineConfig::threads(2)
+        });
+        assert!(c.validate().is_err(), "negative lookahead");
+        c.engine = Some(EngineConfig {
+            lookahead_us: f64::NAN,
+            ..EngineConfig::threads(2)
+        });
+        assert!(c.validate().is_err(), "NaN lookahead");
+        c.engine = Some(EngineConfig {
+            lookahead_us: c.detector.heartbeat_every_us * 2.0,
+            ..EngineConfig::threads(2)
+        });
+        assert!(
+            c.validate().is_err(),
+            "lookahead wider than the heartbeat interval"
+        );
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub use autoscaler::{
     AutoscalerConfig, BrownoutConfig, ClusterAutoscaler, Directive, ScaleDecision, WindowSignals,
 };
 pub use cluster::{
-    ClusterConfig, ClusterDispatcher, ClusterReport, DrainPlan, HedgeConfig, PartitionPlan,
-    WindowRecord, WorkerKill,
+    ClusterConfig, ClusterDispatcher, ClusterReport, DrainPlan, EngineConfig, HedgeConfig,
+    PartitionPlan, WindowRecord, WorkerKill,
 };
 pub use config::{ConfigError, RecoveryPolicy, RuntimeConfig, SpillConfig, SystemVariant};
 pub use durability::{CheckpointSeal, DurableLog, FrameAnomaly, ScanReport, FRAME_HEADER_BYTES};

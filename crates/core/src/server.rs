@@ -451,6 +451,13 @@ impl WorkerServer {
         self.pressure
     }
 
+    /// Always-on op counters of this worker's own event queue — the
+    /// per-shard view the cluster merges into its report, so op-count
+    /// regressions stay assertable whatever the engine's thread count.
+    pub fn queue_probe(&self) -> jord_sim::QueueProbe {
+        self.queue.probe()
+    }
+
     /// Bytes currently resident in this worker's address space.
     pub fn resident_bytes(&self) -> u64 {
         self.privlib.memory().resident_bytes()

@@ -43,6 +43,7 @@
 //! [`jord-hw`]: https://example.com/jord-rs
 
 pub mod dist;
+pub mod horizon;
 pub mod oracle;
 pub mod queue;
 pub mod rng;
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod time;
 
 pub use dist::TimeDist;
+pub use horizon::lbts;
 pub use queue::{CancelOutcome, EventId, EventQueue, QueueProbe};
 pub use rng::Rng;
 pub use stats::{LatencyHistogram, OnlineStats};

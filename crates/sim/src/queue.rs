@@ -108,6 +108,23 @@ pub struct QueueProbe {
     pub sorts: u64,
 }
 
+impl QueueProbe {
+    /// Folds another probe's counters into this one. The parallel cluster
+    /// engine runs one queue per shard; merging the per-shard probes into
+    /// the cluster report keeps op-count regressions (a cancel paying a
+    /// drain-and-rebuild again, say) assertable regardless of thread
+    /// count — the sums are partition-invariant even though each shard's
+    /// own geometry counters are not.
+    pub fn merge(&mut self, other: &QueueProbe) {
+        self.scheduled += other.scheduled;
+        self.popped += other.popped;
+        self.cancelled += other.cancelled;
+        self.rebucketed += other.rebucketed;
+        self.overflowed += other.overflowed;
+        self.sorts += other.sorts;
+    }
+}
+
 /// One slab slot. `event == None` means the slot is free (or tombstoned —
 /// the states are identical: cancellation frees immediately and the ordering
 /// key left behind is recognized as stale by its `seq`).
@@ -234,14 +251,56 @@ impl<E> EventQueue<E> {
     /// deferring cursor bookkeeping until the whole batch is placed.
     /// Equivalent to (and bit-identical in pop order with) pushing each
     /// `(time, event)` in iteration order.
+    ///
+    /// Unlike a push loop, the batch sizes the queue once: the slab is
+    /// reserved from the iterator's size hint, and bucket geometry is
+    /// computed *after* the whole batch is slab-resident — so the live
+    /// count and pending span are both exact — instead of growing
+    /// incrementally (each growth re-bucketing everything scheduled so
+    /// far). A pure-push burst therefore pays one bucket allocation and
+    /// places every key exactly once.
     pub fn schedule_batch(
         &mut self,
         batch: impl IntoIterator<Item = (SimTime, E)>,
     ) -> Vec<EventId> {
         let batch = batch.into_iter();
-        let mut ids = Vec::with_capacity(batch.size_hint().0);
+        let hint = batch.size_hint().0;
+        self.slots.reserve(hint.saturating_sub(self.free.len()));
+        let mut ids = Vec::with_capacity(hint);
+        // Pass 1: slab inserts only; key placement waits until the batch
+        // has taught `live`/`max_pending` the true burst size and span.
+        let mut staged: Vec<Key> = Vec::with_capacity(hint);
         for (time, event) in batch {
-            ids.push(self.schedule_unsettled(time, event));
+            assert!(
+                time >= self.last_popped,
+                "event scheduled in the past: {time} < {}",
+                self.last_popped
+            );
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let slot = self.alloc_slot(time, seq, event);
+            self.live += 1;
+            self.probe.scheduled += 1;
+            self.max_pending = self.max_pending.max(time.as_ps());
+            staged.push(Key {
+                time_ps: time.as_ps(),
+                seq,
+                slot,
+            });
+            ids.push(EventId {
+                slot,
+                gen: self.slots[slot as usize].gen,
+            });
+        }
+        // One growth decision for the whole burst, made with exact
+        // knowledge (no staged key is bucketed yet, so re-anchoring
+        // moves only the previously pending keys).
+        if self.live >= self.buckets.len() * GROW_OCCUPANCY && self.buckets.len() < MAX_BUCKETS {
+            self.grow();
+        }
+        // Pass 2: place the keys under the final geometry.
+        for key in staged {
+            self.place(key);
         }
         self.settle();
         ids
@@ -688,6 +747,15 @@ impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue::new()
     }
+}
+
+/// The parallel cluster engine hands each shard's queue to a worker
+/// thread between barriers; keep that statically legal for any `Send`
+/// payload (the queue holds no shared or interior-mutable state).
+#[allow(dead_code)]
+fn shard_handles_are_send<E: Send>() {
+    fn check<T: Send>() {}
+    check::<EventQueue<E>>();
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {

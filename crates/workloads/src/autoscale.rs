@@ -24,8 +24,8 @@
 //!    fleet trace hash.
 
 use jord_core::{
-    AutoscalerConfig, ClusterConfig, ClusterDispatcher, ClusterReport, DrainPlan, RecoveryPolicy,
-    RuntimeConfig, SystemVariant, WindowRecord, WorkerKill,
+    AutoscalerConfig, ClusterConfig, ClusterDispatcher, ClusterReport, DrainPlan, EngineConfig,
+    RecoveryPolicy, RuntimeConfig, SystemVariant, WindowRecord, WorkerKill,
 };
 use jord_hw::MachineConfig;
 
@@ -122,6 +122,12 @@ pub struct AutoscaleCampaign {
     pub kill_at_us: f64,
     /// Which worker the race point drains and then kills.
     pub victim: usize,
+    /// Cluster engine every point runs on: `None` for the sequential
+    /// engine, `Some` for the conservative parallel engine. The results
+    /// are bit-identical either way — this knob exists so campaigns can
+    /// differential-test that claim and so large sweeps can buy
+    /// wall-clock speed.
+    pub engine: Option<EngineConfig>,
 }
 
 impl AutoscaleCampaign {
@@ -172,12 +178,19 @@ impl AutoscaleCampaign {
             // worker 0 is the one guaranteed to still be routing when the
             // race fires.
             victim: 0,
+            engine: None,
         }
     }
 
     /// Overrides the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Runs every point on the conservative parallel engine.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -292,6 +305,7 @@ impl AutoscaleCampaign {
                 ..RecoveryPolicy::default()
             });
         let mut cfg = ClusterConfig::new(self.workers, self.seed, template);
+        cfg.engine = self.engine;
         if autoscaled {
             cfg.autoscale = Some(self.autoscale);
         }

@@ -25,8 +25,8 @@
 //! another worker's schedule.
 
 use jord_core::{
-    ClusterConfig, ClusterDispatcher, ClusterReport, CrashSemantics, HedgeConfig, PartitionPlan,
-    RuntimeConfig, SystemVariant, WorkerKill,
+    ClusterConfig, ClusterDispatcher, ClusterReport, CrashSemantics, EngineConfig, HedgeConfig,
+    PartitionPlan, RuntimeConfig, SystemVariant, WorkerKill,
 };
 use jord_hw::MachineConfig;
 
@@ -106,6 +106,10 @@ pub struct FailoverCampaign {
     /// Hedge trigger for the hedged point: a request unanswered this
     /// long gets a second copy elsewhere, µs.
     pub hedge_after_us: f64,
+    /// Cluster engine every point runs on: `None` for the sequential
+    /// engine, `Some` for the conservative parallel engine (bit-identical
+    /// results by contract — campaigns differential-test that).
+    pub engine: Option<EngineConfig>,
 }
 
 impl FailoverCampaign {
@@ -128,7 +132,14 @@ impl FailoverCampaign {
             // Well under the ~34.5 µs evict horizon: a hedge must rescue
             // a stranded request before the detector would.
             hedge_after_us: 10.0,
+            engine: None,
         }
+    }
+
+    /// Runs every point on the conservative parallel engine.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = Some(engine);
+        self
     }
 
     /// Overrides the cluster size.
@@ -259,6 +270,7 @@ impl FailoverCampaign {
         let template =
             RuntimeConfig::variant_on(self.variant, self.machine.clone()).with_seed(self.seed);
         let mut cfg = ClusterConfig::new(self.workers, self.seed, template);
+        cfg.engine = self.engine;
         mutate(&mut cfg);
         let semantics = cfg.semantics.label();
         let mut cluster =

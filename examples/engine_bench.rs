@@ -11,7 +11,13 @@
 //! * the hold model at 1 Mi pending events runs ≥ 2× the heap's
 //!   events/sec (the headline acceptance bar for the queue swap),
 //! * the autoscale campaign reproduces the golden trace hash and window
-//!   digest recorded under the old heap queue, twice in a row.
+//!   digest recorded under the old heap queue, twice in a row —
+//!   sequentially AND on the conservative parallel engine at 4 threads,
+//! * an 8-worker cluster-scale campaign pops the identical trace hash
+//!   at every thread count in {1, 2, 4, 8}, and — on machines with ≥ 4
+//!   cores — runs ≥ 2× faster at 4 threads than sequentially (the gate
+//!   self-skips with an annotation on smaller runners; a 1-core box
+//!   cannot demonstrate wall-clock parallelism).
 //!
 //! Emits `BENCH_engine.json` with every number printed.
 //!
@@ -22,13 +28,20 @@
 use std::time::Instant;
 
 use jord_bench::engine::{cancel_storm, hold_model, transient, MicroResult};
-use jord_workloads::{AutoscaleCampaign, SoakCampaign, Workload, WorkloadKind};
+use jord_core::{ClusterConfig, ClusterDispatcher, EngineConfig, RuntimeConfig, SystemVariant};
+use jord_hw::MachineConfig;
+use jord_workloads::{AutoscaleCampaign, LoadGen, SoakCampaign, Workload, WorkloadKind};
 
 /// Golden constants recorded under the pre-refactor heap queue.
 const PINNED_TRACE_HASH: u64 = 0x6dc108d71b0890cb;
 const PINNED_WINDOW_DIGEST: u64 = 0x80300dcf4f0511fa;
 /// Acceptance bar: calendar ≥ 2× heap on the headline schedule/pop bench.
 const GATE_SPEEDUP: f64 = 2.0;
+/// Acceptance bar: 4 threads ≥ 2× sequential on the cluster-scale
+/// campaign, enforced only where the hardware can express it.
+const GATE_PARALLEL_SPEEDUP: f64 = 2.0;
+/// Minimum cores for the parallel-speedup gate to be meaningful.
+const GATE_PARALLEL_MIN_CORES: usize = 4;
 
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -52,6 +65,30 @@ fn print_micro(r: &MicroResult) {
             "DIVERGE"
         },
     );
+}
+
+/// One cluster-scale run: 8 workers, a burst far beyond their
+/// instantaneous capacity (deep queues keep every shard busy between
+/// barriers), on the sequential engine (`threads == None`) or the
+/// conservative parallel engine.
+fn cluster_scale(hotel: &Workload, threads: Option<usize>) -> (f64, u64, u64) {
+    const WORKERS: usize = 8;
+    const SEED: u64 = 42;
+    const RATE_RPS: f64 = 8.0e6;
+    const REQUESTS: usize = 12_000;
+    let template =
+        RuntimeConfig::variant_on(SystemVariant::Jord, MachineConfig::isca25()).with_seed(SEED);
+    let mut cfg = ClusterConfig::new(WORKERS, SEED, template);
+    cfg.engine = threads.map(EngineConfig::threads);
+    let mut cluster =
+        ClusterDispatcher::new(cfg, hotel.registry.clone()).expect("valid cluster config");
+    let mut gen = LoadGen::new(hotel, SEED).expect("workload mix is sampleable");
+    for (t, f, b) in gen.arrivals(RATE_RPS, REQUESTS) {
+        cluster.push_request(t, f, b);
+    }
+    let start = Instant::now();
+    let rep = cluster.run();
+    (start.elapsed().as_secs_f64(), rep.trace_hash, rep.completed)
 }
 
 fn main() {
@@ -110,6 +147,75 @@ fn main() {
          trace 0x{trace:016x} bit-identical across replay and pinned to the heap-era recording"
     );
 
+    // The same campaign on the conservative parallel engine must
+    // reproduce the same heap-era golden constants bit-for-bit.
+    let par_campaign = AutoscaleCampaign::new(1.5e6, 1_500)
+        .seed(42)
+        .engine(EngineConfig::threads(4));
+    let (par_rep, par_windows) =
+        par_campaign.run_cluster(&hotel, &par_campaign.crowd, true, |_, _| {});
+    let par_digest = fnv1a(
+        par_windows
+            .iter()
+            .flat_map(|w| format!("{w:?}").into_bytes()),
+    );
+    assert_eq!(
+        par_rep.trace_hash, PINNED_TRACE_HASH,
+        "parallel engine (4 threads) diverged from the golden trace hash"
+    );
+    assert_eq!(
+        par_digest, PINNED_WINDOW_DIGEST,
+        "parallel engine (4 threads) diverged from the golden window digest"
+    );
+    println!(
+        "autoscale @ 4 threads: trace 0x{:016x} — reproduces the sequential golden constants",
+        par_rep.trace_hash
+    );
+
+    println!();
+    println!("== cluster-scale campaign (8 workers, sequential vs parallel engine) ==");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (seq_wall, seq_trace, seq_completed) = cluster_scale(&hotel, None);
+    println!(
+        "sequential: {seq_completed} requests in {seq_wall:.2}s wall, trace 0x{seq_trace:016x}"
+    );
+    let mut scale_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (wall, trace_t, completed_t) = cluster_scale(&hotel, Some(threads));
+        assert_eq!(
+            trace_t, seq_trace,
+            "{threads}-thread cluster-scale run diverged from the sequential trace"
+        );
+        assert_eq!(completed_t, seq_completed);
+        let speedup = seq_wall / wall;
+        println!(
+            "{threads:>2} threads: {completed_t} requests in {wall:.2}s wall \
+             (speedup {speedup:>5.2}x), trace bit-identical"
+        );
+        scale_rows.push((threads, wall, speedup));
+    }
+    let speedup_4t = scale_rows
+        .iter()
+        .find(|&&(t, _, _)| t == 4)
+        .map(|&(_, _, s)| s)
+        .expect("4-thread row");
+    let parallel_gate = if cores >= GATE_PARALLEL_MIN_CORES {
+        assert!(
+            speedup_4t >= GATE_PARALLEL_SPEEDUP,
+            "4-thread cluster-scale speedup {speedup_4t:.2}x is below the \
+             {GATE_PARALLEL_SPEEDUP:.1}x acceptance bar on a {cores}-core machine"
+        );
+        format!("\"enforced ({cores} cores)\"")
+    } else {
+        // Bit-identity was still gated above; only the wall-clock claim
+        // needs real cores.
+        println!(
+            "parallel speedup gate SKIPPED: {cores} core(s) available, \
+             need >= {GATE_PARALLEL_MIN_CORES} to measure wall-clock parallelism"
+        );
+        format!("\"skipped ({cores} core(s): cannot express parallelism)\"")
+    };
+
     let soak = SoakCampaign::new(2.0e6, 14_000).seed(42);
     let start = Instant::now();
     let soak_rep = soak.run(&hotel);
@@ -124,7 +230,11 @@ fn main() {
         "{{\n  \"gate_speedup\": {GATE_SPEEDUP},\n  \"microbench\": [\n{}\n  ],\n  \
          \"autoscale\": {{\n    \"requests\": {completed},\n    \"wall_s\": {auto_wall:.3},\n    \
          \"k_req_per_s\": {auto_krps:.1},\n    \"trace_hash\": {trace},\n    \
-         \"window_digest\": {digest}\n  }},\n  \"soak\": {{\n    \"requests\": {},\n    \
+         \"window_digest\": {digest},\n    \"parallel_4t_trace_hash\": {}\n  }},\n  \
+         \"cluster_scale\": {{\n    \"workers\": 8,\n    \"requests\": {seq_completed},\n    \
+         \"cores\": {cores},\n    \"sequential_wall_s\": {seq_wall:.3},\n    \
+         \"speedup_gate\": {parallel_gate},\n    \"threads\": [\n{}\n    ]\n  }},\n  \
+         \"soak\": {{\n    \"requests\": {},\n    \
          \"wall_s\": {soak_wall:.3},\n    \"k_req_per_s\": {soak_krps:.1}\n  }}\n}}\n",
         [
             ("hold_64k", &hold_64k),
@@ -143,6 +253,14 @@ fn main() {
         ))
         .collect::<Vec<_>>()
         .join(",\n"),
+        par_rep.trace_hash,
+        scale_rows
+            .iter()
+            .map(|(t, wall, speedup)| format!(
+                "      {{ \"threads\": {t}, \"wall_s\": {wall:.3}, \"speedup\": {speedup:.3} }}"
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
         soak_rep.completed,
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
